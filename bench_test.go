@@ -1,0 +1,343 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus microbenchmarks of the simulator core and ablation
+// benches for the design choices DESIGN.md calls out.
+//
+// Each figure benchmark regenerates its table once per iteration (run
+// with -benchtime=1x for a single regeneration) and reports the
+// headline quantity as a custom metric, so `go test -bench .` doubles
+// as a compact reproduction report. MEMNET_BENCH_TXNS overrides the
+// per-run trace length (default 4000).
+package memnet
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"memnet/internal/experiments"
+	"memnet/internal/sim"
+)
+
+func benchOptions() experiments.Options {
+	opts := experiments.Options{Transactions: 4000, Seed: 1}
+	if s := os.Getenv("MEMNET_BENCH_TXNS"); s != "" {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil && v > 0 {
+			opts.Transactions = v
+		}
+	}
+	return opts
+}
+
+// avgOf reports a row's trailing "average" column.
+func avgOf(b *testing.B, tab *experiments.Table, label string) float64 {
+	b.Helper()
+	row, ok := tab.RowByLabel(label)
+	if !ok || len(row.Values) == 0 {
+		b.Fatalf("row %q missing", label)
+	}
+	return row.Values[len(row.Values)-1]
+}
+
+func BenchmarkTable1DDRSpeeds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, _ := tab.Cell("DDR3", "3 DPC")
+		b.ReportMetric(v, "DDR3-3DPC-MTs")
+	}
+}
+
+func BenchmarkTable2Parameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table2Text()) == 0 {
+			b.Fatal("empty table 2")
+		}
+	}
+}
+
+func BenchmarkFig4TopologySpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOptions())
+		tab, err := r.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(avgOf(b, tab, "100%-R"), "ring-avg-%")
+		b.ReportMetric(avgOf(b, tab, "100%-T"), "tree-avg-%")
+	}
+}
+
+func BenchmarkFig5LatencyBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOptions())
+		tab, err := r.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		row, _ := tab.RowByLabel("Chain/to-memory")
+		var sum float64
+		for _, v := range row.Values {
+			sum += v
+		}
+		b.ReportMetric(sum/float64(len(row.Values)), "chain-tomem-frac")
+	}
+}
+
+func BenchmarkFig7NVMRatios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOptions())
+		tab, err := r.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(avgOf(b, tab, "50%-T (NVM-L)"), "mix50L-avg-%")
+		b.ReportMetric(avgOf(b, tab, "0%-T"), "allNVM-avg-%")
+	}
+}
+
+func BenchmarkFig10DistanceArb(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOptions())
+		tab, err := r.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(avgOf(b, tab, "100%-T"), "tree-gain-%")
+		b.ReportMetric(avgOf(b, tab, "50%-T (NVM-F)"), "nvmF-gain-%")
+	}
+}
+
+func BenchmarkFig11NewTopologies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOptions())
+		tab, err := r.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(avgOf(b, tab, "100%-SL"), "skiplist-avg-%")
+		b.ReportMetric(avgOf(b, tab, "100%-MC"), "metacube-avg-%")
+	}
+}
+
+func BenchmarkFig12Combined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOptions())
+		tab, err := r.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(avgOf(b, tab, "100%-SL"), "skiplist-avg-%")
+		b.ReportMetric(avgOf(b, tab, "100%-MC"), "metacube-avg-%")
+	}
+}
+
+func BenchmarkFig13PortSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOptions())
+		tab, err := r.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(avgOf(b, tab, "100%-T"), "tree-4port-%")
+		b.ReportMetric(avgOf(b, tab, "100%-MC"), "metacube-4port-%")
+	}
+}
+
+func BenchmarkFig14CapacitySensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOptions())
+		tab, err := r.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(avgOf(b, tab, "100%-T"), "dram-1TB-%")
+		b.ReportMetric(avgOf(b, tab, "0%-T"), "nvm-1TB-%")
+	}
+}
+
+func BenchmarkFig15EnergyBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOptions())
+		tab, err := r.Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, _ := tab.Cell("0%-C", "total")
+		b.ReportMetric(v, "allNVM-chain-energy-x")
+		v, _ = tab.Cell("100%-T", "total")
+		b.ReportMetric(v, "tree-energy-x")
+	}
+}
+
+// --- Microbenchmarks -----------------------------------------------
+
+// BenchmarkSimulationThroughput measures end-to-end simulated
+// transactions per wall second on the baseline tree.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Transactions = 5000
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += int(res.Transactions)
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "txns/s")
+}
+
+// BenchmarkEngineEvents measures raw event-dispatch throughput.
+func BenchmarkEngineEvents(b *testing.B) {
+	eng := sim.NewEngine()
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			eng.Schedule(1, fn)
+		}
+	}
+	b.ResetTimer()
+	eng.Schedule(1, fn)
+	eng.Run()
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "events/s")
+}
+
+// --- Ablation benches ------------------------------------------------
+
+// ablation runs the KMEANS tree with one tuning mutation and reports
+// the finish-time delta vs the default, exposing how much each modeling
+// choice matters.
+func ablation(b *testing.B, mutate func(*Config)) {
+	base := DefaultConfig()
+	base.Transactions = benchOptions().Transactions
+	mut := base
+	mutate(&mut)
+	for i := 0; i < b.N; i++ {
+		r0, err := Run(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r1, err := Run(mut)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((float64(r1.FinishTime)/float64(r0.FinishTime)-1)*100, "delta-%")
+	}
+}
+
+// BenchmarkAblationNoResponsePriority disables the response-over-request
+// link priority (the deadlock-avoidance rule behind Fig. 5's request
+// backup).
+func BenchmarkAblationNoResponsePriority(b *testing.B) {
+	ablation(b, func(c *Config) {
+		tn := DefaultTuning()
+		tn.NoVCPriority = true
+		c.Tuning = &tn
+	})
+}
+
+// BenchmarkAblationNoWavefronts retires transactions individually
+// instead of in GPU-style read groups, removing tail sensitivity.
+func BenchmarkAblationNoWavefronts(b *testing.B) {
+	ablation(b, func(c *Config) {
+		tn := DefaultTuning()
+		tn.WavefrontSize = 1
+		c.Tuning = &tn
+	})
+}
+
+// BenchmarkAblationIdealSwitch removes the cube switch's internal
+// bandwidth limit (the crossbar contention point of Section 3.2).
+func BenchmarkAblationIdealSwitch(b *testing.B) {
+	ablation(b, func(c *Config) {
+		tn := DefaultTuning()
+		tn.SwitchBandwidthBps = 0
+		c.Tuning = &tn
+	})
+}
+
+// BenchmarkAblationSmallWindow quarters the host's MLP window,
+// demonstrating the latency-throughput coupling the evaluation relies on.
+func BenchmarkAblationSmallWindow(b *testing.B) {
+	ablation(b, func(c *Config) {
+		sys := DefaultSystem()
+		sys.MaxOutstanding = 16
+		c.System = &sys
+	})
+}
+
+// BenchmarkAblationCoarseInterleave raises the port interleave from 256B
+// to 1024B; the paper found large granularities hurt via network
+// latency (§5).
+func BenchmarkAblationCoarseInterleave(b *testing.B) {
+	ablation(b, func(c *Config) {
+		sys := DefaultSystem()
+		sys.InterleaveBytes = 1024
+		c.System = &sys
+	})
+}
+
+// BenchmarkAblationSlowSerDes raises the per-hop SerDes latency from 2ns
+// to 10ns; the paper reports 2ns is nearly free but 10ns is strongly
+// felt (§5).
+func BenchmarkAblationSlowSerDes(b *testing.B) {
+	ablation(b, func(c *Config) {
+		sys := DefaultSystem()
+		sys.SerDesLatency = 10 * Nanosecond
+		c.System = &sys
+	})
+}
+
+// BenchmarkAblationMetaCubeGroup sweeps the MetaCube package size (the
+// interposer-size tradeoff of §4.3), reporting the speedup of 8-cube
+// packages over 2-cube packages.
+func BenchmarkAblationMetaCubeGroup(b *testing.B) {
+	run := func(group int) Results {
+		tn := DefaultTuning()
+		tn.MetaCubeGroup = group
+		cfg := DefaultConfig()
+		cfg.Topology = MetaCube
+		cfg.Transactions = benchOptions().Transactions
+		cfg.Tuning = &tn
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	for i := 0; i < b.N; i++ {
+		small := run(2)
+		big := run(8)
+		b.ReportMetric((float64(small.FinishTime)/float64(big.FinishTime)-1)*100,
+			"group8-vs-group2-%")
+	}
+}
+
+// BenchmarkAblationWriteShortcut isolates the §5.3 hysteresis: the
+// write-heavy BACKPROP on the skip list with plain distance arbitration
+// (no shortcut) vs the augmented scheme (with it).
+func BenchmarkAblationWriteShortcut(b *testing.B) {
+	run := func(arb Arbitration) Results {
+		cfg := DefaultConfig()
+		cfg.Topology = SkipList
+		cfg.Workload = "BACKPROP"
+		cfg.Arbitration = arb
+		cfg.Transactions = benchOptions().Transactions
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	for i := 0; i < b.N; i++ {
+		plain := run(Distance)
+		aug := run(DistanceAugmented)
+		b.ReportMetric((float64(plain.FinishTime)/float64(aug.FinishTime)-1)*100,
+			"shortcut-gain-%")
+	}
+}

@@ -1,0 +1,115 @@
+// Command mnexp regenerates the paper's tables and figures. Each
+// experiment prints the same rows/series the paper reports (speedups
+// over the 100% chain, latency breakdowns, energy splits, ...).
+//
+// Examples:
+//
+//	mnexp                      # run everything at publication scale
+//	mnexp -exp fig4,fig7       # selected figures
+//	mnexp -quick               # reduced trace length (fast)
+//	mnexp -format csv -out out # write CSV files per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"memnet/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all",
+			"comma-separated: table1,table2,fig4,fig5,fig7,fig10,fig11,fig12,fig13,fig14,fig15,mesh or all")
+		quick  = flag.Bool("quick", false, "reduced trace length for a fast pass")
+		txns   = flag.Uint64("txns", 0, "override transactions per run")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		format = flag.String("format", "text", "text | csv | chart")
+		outDir = flag.String("out", "", "directory for per-experiment output files (default stdout)")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	if *txns > 0 {
+		opts.Transactions = *txns
+	}
+	opts.Seed = *seed
+
+	runner := experiments.NewRunner(opts)
+	type exp struct {
+		id string
+		fn func() (*experiments.Table, error)
+	}
+	all := []exp{
+		{"table1", func() (*experiments.Table, error) { return experiments.Table1() }},
+		{"table2", nil}, // special-cased text
+		{"fig4", runner.Fig4},
+		{"fig5", runner.Fig5},
+		{"fig7", runner.Fig7},
+		{"fig10", runner.Fig10},
+		{"fig11", runner.Fig11},
+		{"fig12", runner.Fig12},
+		{"fig13", runner.Fig13},
+		{"fig14", runner.Fig14},
+		{"fig15", runner.Fig15},
+		{"mesh", runner.ExtMesh},
+	}
+
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, e := range all {
+			want[e.id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	for _, e := range all {
+		if !want[e.id] {
+			continue
+		}
+		if e.id == "table2" {
+			emit(e.id, experiments.Table2Text(), *outDir, "txt")
+			continue
+		}
+		tab, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mnexp: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			emit(e.id, tab.CSV(), *outDir, "csv")
+		case "chart":
+			emit(e.id, tab.Chart(), *outDir, "txt")
+		default:
+			emit(e.id, tab.Text(), *outDir, "txt")
+		}
+	}
+}
+
+// emit writes content to a file in dir (if set) or to stdout.
+func emit(id, content, dir, ext string) {
+	if dir == "" {
+		fmt.Println(content)
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "mnexp:", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(dir, id+"."+ext)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mnexp:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+}

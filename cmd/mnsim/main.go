@@ -1,0 +1,152 @@
+// Command mnsim runs a single memory-network simulation and reports
+// execution time, the latency decomposition, and the energy breakdown.
+//
+// Examples:
+//
+//	mnsim -topology tree -workload KMEANS
+//	mnsim -topology skiplist -dram-pct 50 -placement last -arb augmented
+//	mnsim -topology metacube -ports 4 -txns 50000 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memnet"
+)
+
+func main() {
+	var (
+		topoFlag  = flag.String("topology", "tree", "chain | ring | tree | skiplist | metacube | mesh")
+		dramPct   = flag.Float64("dram-pct", 100, "percent of capacity from DRAM (0-100)")
+		placeFlag = flag.String("placement", "last", "NVM placement: last (-L) | first (-F)")
+		arbFlag   = flag.String("arb", "rr", "arbitration: rr | distance | augmented")
+		wlFlag    = flag.String("workload", "KMEANS", "workload name (or 'list')")
+		txns      = flag.Uint64("txns", 20000, "transactions to complete")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		ports     = flag.Int("ports", 8, "host memory ports")
+		capTB     = flag.Int("capacity-tb", 2, "total memory capacity in TB")
+		verbose   = flag.Bool("v", false, "print per-component detail")
+		failLink  = flag.Int("fail-link", -1, "fail the topology edge with this index (RAS experiment)")
+		recordTo  = flag.String("record-trace", "", "write the generated transaction trace to this file")
+		replayFrm = flag.String("replay-trace", "", "drive the run from a recorded trace file")
+		traceN    = flag.Int("trace", 0, "print the last N packet lifecycle events")
+	)
+	flag.Parse()
+
+	if *wlFlag == "list" {
+		for _, s := range memnet.Workloads() {
+			fmt.Printf("%-10s reads=%.0f%%  mean gap=%v\n",
+				s.Name, s.ReadFraction*100, s.MeanGap)
+		}
+		return
+	}
+
+	cfg := memnet.DefaultConfig()
+	var err error
+	cfg.Topology, err = parseTopology(*topoFlag)
+	check(err)
+	cfg.Arbitration, err = parseArb(*arbFlag)
+	check(err)
+	cfg.DRAMFraction = *dramPct / 100
+	if strings.HasPrefix(strings.ToLower(*placeFlag), "f") {
+		cfg.Placement = memnet.NVMFirst
+	}
+	cfg.Workload = *wlFlag
+	cfg.Transactions = *txns
+	cfg.Seed = *seed
+
+	sys := memnet.DefaultSystem()
+	sys.Ports = *ports
+	sys.TotalCapacity = uint64(*capTB) << 40
+	cfg.System = &sys
+	if *failLink >= 0 {
+		cfg.FailLinks = []int{*failLink}
+	}
+	if *recordTo != "" {
+		cfg.Record = true
+	}
+	cfg.TraceDepth = *traceN
+	if *replayFrm != "" {
+		f, err := os.Open(*replayFrm)
+		check(err)
+		trace, err := memnet.ReadTraceFrom(f)
+		f.Close()
+		check(err)
+		cfg.ReplayTrace = trace
+	}
+
+	in, err := memnet.Build(cfg)
+	check(err)
+	res, err := in.Run()
+	check(err)
+
+	fmt.Printf("config        %s  arb=%s  workload=%s\n", res.Label, *arbFlag, res.Workload)
+	fmt.Printf("finish time   %v  (%d transactions)\n", res.FinishTime, res.Transactions)
+	fmt.Printf("mean latency  %v  (to-mem %v | in-mem %v | from-mem %v)\n",
+		res.MeanLatency, res.Breakdown.ToMem, res.Breakdown.InMem, res.Breakdown.FromMem)
+	fmt.Printf("traffic       %d reads / %d writes, %.2f mean hops\n",
+		res.Reads, res.Writes, res.MeanHops)
+	fmt.Printf("energy        %.1f uJ network | %.1f uJ read | %.1f uJ write\n",
+		res.Energy.NetworkPJ/1e6, res.Energy.ReadPJ/1e6, res.Energy.WritePJ/1e6)
+	if *recordTo != "" {
+		f, err := os.Create(*recordTo)
+		check(err)
+		check(memnet.WriteTraceTo(f, in.Recorder.Trace()))
+		check(f.Close())
+		fmt.Printf("trace         wrote %d transactions to %s\n",
+			len(in.Recorder.Trace()), *recordTo)
+	}
+	if *traceN > 0 {
+		fmt.Printf("\nlast %d of %d lifecycle events:\n%s",
+			len(in.Trace.Events()), in.Trace.Total(), in.Trace.String())
+	}
+	if *verbose {
+		fmt.Printf("sim events    %d\n", res.Events)
+		toF, inF, fromF := res.Breakdown.Fractions()
+		fmt.Printf("latency split %.0f%% to-mem / %.0f%% in-mem / %.0f%% from-mem\n",
+			toF*100, inF*100, fromF*100)
+		fmt.Printf("\nper-node report (port 0's network):\n%s", in.ReportText())
+	}
+}
+
+func parseTopology(s string) (memnet.Topology, error) {
+	switch strings.ToLower(s) {
+	case "chain", "c":
+		return memnet.Chain, nil
+	case "ring", "r":
+		return memnet.Ring, nil
+	case "tree", "t":
+		return memnet.Tree, nil
+	case "skiplist", "skip-list", "sl":
+		return memnet.SkipList, nil
+	case "metacube", "mc":
+		return memnet.MetaCube, nil
+	case "mesh", "m":
+		return memnet.Mesh, nil
+	default:
+		return 0, fmt.Errorf("unknown topology %q", s)
+	}
+}
+
+func parseArb(s string) (memnet.Arbitration, error) {
+	switch strings.ToLower(s) {
+	case "rr", "round-robin", "roundrobin":
+		return memnet.RoundRobin, nil
+	case "distance", "dist":
+		return memnet.Distance, nil
+	case "augmented", "distance-augmented", "aug":
+		return memnet.DistanceAugmented, nil
+	default:
+		return 0, fmt.Errorf("unknown arbitration %q", s)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mnsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,145 @@
+// Command mntopo builds a memory-network topology and prints its
+// structure: node/edge inventory, per-cube hop distances from the host,
+// diameter statistics, and (optionally) Graphviz DOT.
+//
+// Examples:
+//
+//	mntopo -topology skiplist -cubes 16
+//	mntopo -topology metacube -dram-pct 50 -placement first -dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memnet/internal/config"
+	"memnet/internal/core"
+	"memnet/internal/packet"
+	"memnet/internal/topology"
+)
+
+func main() {
+	var (
+		topoFlag  = flag.String("topology", "skiplist", "chain | ring | tree | skiplist | metacube | mesh")
+		cubes     = flag.Int("cubes", 0, "build a homogeneous DRAM network of N cubes (overrides ratio)")
+		dramPct   = flag.Float64("dram-pct", 100, "percent of capacity from DRAM")
+		placeFlag = flag.String("placement", "last", "NVM placement: last | first")
+		dot       = flag.Bool("dot", false, "emit Graphviz DOT instead of the summary")
+	)
+	flag.Parse()
+
+	kind, err := parseTopology(*topoFlag)
+	check(err)
+
+	var techs []config.MemTech
+	if *cubes > 0 {
+		techs = make([]config.MemTech, *cubes)
+	} else {
+		sys := config.Default()
+		sys.DRAMFraction = *dramPct / 100
+		if strings.HasPrefix(strings.ToLower(*placeFlag), "f") {
+			sys.Placement = config.NVMFirst
+		}
+		techs, err = core.TechOrder(&sys)
+		check(err)
+	}
+
+	g, err := topology.Build(kind, techs)
+	check(err)
+
+	if *dot {
+		fmt.Print(toDOT(g))
+		return
+	}
+
+	fmt.Printf("topology  %v  (%d cubes, %d nodes incl. host, %d links)\n",
+		kind, len(g.CubeIDs()), g.NumNodes(), len(g.Edges))
+	fmt.Printf("diameter  %d hops worst-case host->cube, %.2f average\n",
+		g.MaxHostDist(), g.MeanHostDist())
+	fmt.Println()
+	fmt.Println("node  kind   tech  links  dist(short)  dist(write-path)")
+	for _, n := range g.Nodes {
+		kind := "cube"
+		tech := n.Tech.String()
+		switch n.Kind {
+		case topology.Host:
+			kind, tech = "host", "-"
+		case topology.Iface:
+			kind, tech = "iface", "-"
+		}
+		fmt.Printf("%4d  %-5s  %-4s  %5d  %11d  %16d\n",
+			n.ID, kind, tech, g.Degree(n.ID),
+			g.Dist(topology.PathShort, packet.HostNode, n.ID),
+			g.Dist(topology.PathLong, packet.HostNode, n.ID))
+	}
+	fmt.Println()
+	fmt.Println("links (E=express/skip, I=interposer):")
+	for _, e := range g.Edges {
+		tag := " "
+		if e.Express {
+			tag = "E"
+		}
+		if e.Interposer {
+			tag = "I"
+		}
+		fmt.Printf("  %3d -- %-3d %s\n", e.A, e.B, tag)
+	}
+}
+
+// toDOT renders the graph for Graphviz.
+func toDOT(g *topology.Graph) string {
+	var b strings.Builder
+	b.WriteString("graph mn {\n  rankdir=LR;\n")
+	for _, n := range g.Nodes {
+		switch {
+		case n.Kind == topology.Host:
+			fmt.Fprintf(&b, "  n%d [label=\"host\", shape=box];\n", n.ID)
+		case n.Kind == topology.Iface:
+			fmt.Fprintf(&b, "  n%d [label=\"iface%d\", shape=diamond];\n", n.ID, n.ID)
+		case n.Tech == config.NVM:
+			fmt.Fprintf(&b, "  n%d [label=\"NVM%d\", style=filled];\n", n.ID, n.ID)
+		default:
+			fmt.Fprintf(&b, "  n%d [label=\"c%d\"];\n", n.ID, n.ID)
+		}
+	}
+	for _, e := range g.Edges {
+		attr := ""
+		if e.Express {
+			attr = " [style=dashed]"
+		}
+		if e.Interposer {
+			attr = " [color=gray]"
+		}
+		fmt.Fprintf(&b, "  n%d -- n%d%s;\n", e.A, e.B, attr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func parseTopology(s string) (topology.Kind, error) {
+	switch strings.ToLower(s) {
+	case "chain", "c":
+		return topology.Chain, nil
+	case "ring", "r":
+		return topology.Ring, nil
+	case "tree", "t":
+		return topology.Tree, nil
+	case "skiplist", "skip-list", "sl":
+		return topology.SkipList, nil
+	case "metacube", "mc":
+		return topology.MetaCube, nil
+	case "mesh", "m":
+		return topology.Mesh, nil
+	default:
+		return 0, fmt.Errorf("unknown topology %q", s)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mntopo:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+package memnet_test
+
+import (
+	"fmt"
+
+	"memnet"
+)
+
+// The simplest possible use: run the default all-DRAM tree and read the
+// headline metrics.
+func Example() {
+	cfg := memnet.DefaultConfig()
+	cfg.Transactions = 1000
+	res, err := memnet.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Label, res.Transactions, res.Reads+res.Writes == res.Transactions)
+	// Output: 100%-T 1000 true
+}
+
+// Comparing two configurations with the paper's speedup metric.
+func ExampleSpeedup() {
+	tree := memnet.DefaultConfig()
+	tree.Transactions = 2000
+	chain := tree
+	chain.Topology = memnet.Chain
+	s, err := memnet.Speedup(tree, chain)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tree beats chain:", s > 0)
+	// Output: tree beats chain: true
+}
+
+// Building an instance gives access to the topology and per-component
+// statistics.
+func ExampleBuild() {
+	cfg := memnet.DefaultConfig()
+	cfg.Topology = memnet.SkipList
+	cfg.Transactions = 500
+	in, err := memnet.Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cubes:", len(in.Graph.CubeIDs()),
+		"worst-case hops:", in.Graph.MaxHostDist())
+	// Output: cubes: 16 worst-case hops: 5
+}
+
+// Mixing NVM into the network per the paper's §3.3.
+func ExampleConfig_dramFraction() {
+	cfg := memnet.DefaultConfig()
+	cfg.DRAMFraction = 0.5
+	cfg.Placement = memnet.NVMLast
+	cfg.Transactions = 500
+	in, err := memnet.Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	// 8 DRAM cubes + 2 four-times-denser NVM cubes.
+	fmt.Println("cubes:", len(in.Graph.CubeIDs()))
+	// Output: cubes: 10
+}

@@ -1,0 +1,59 @@
+// Hetero sweeps the DRAM:NVM capacity mix of a tree-topology memory
+// network (the paper's §3.3 / Fig. 7 experiment): denser-but-slower NVM
+// cubes shrink the network, trading interconnect latency against memory
+// array latency, with placement (-L / -F) controlling where the NVM
+// cubes sit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memnet"
+)
+
+func main() {
+	fmt.Println("DRAM:NVM mix sweep, tree topology, MATRIXMUL proxy")
+	fmt.Println("(speedups relative to the all-DRAM chain, as in Fig. 7)")
+	fmt.Println()
+
+	base := memnet.DefaultConfig()
+	base.Workload = "MATRIXMUL"
+	base.Transactions = 10000
+
+	chain := base
+	chain.Topology = memnet.Chain
+	chainRes, err := memnet.Run(chain)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type mix struct {
+		frac  float64
+		place memnet.Placement
+		label string
+	}
+	for _, m := range []mix{
+		{1.0, memnet.NVMLast, "100% DRAM        (16 cubes)"},
+		{0.5, memnet.NVMLast, "50% DRAM, NVM-L  (10 cubes)"},
+		{0.5, memnet.NVMFirst, "50% DRAM, NVM-F  (10 cubes)"},
+		{0.0, memnet.NVMLast, "  0% DRAM        ( 4 cubes)"},
+	} {
+		cfg := base
+		cfg.Topology = memnet.Tree
+		cfg.DRAMFraction = m.frac
+		cfg.Placement = m.place
+		res, err := memnet.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		speedup := float64(chainRes.FinishTime)/float64(res.FinishTime) - 1
+		fmt.Printf("%s  speedup %+6.1f%%  meanLat=%-8v energy(write)=%.1fuJ\n",
+			m.label, speedup*100, res.MeanLatency, res.Energy.WritePJ/1e6)
+	}
+
+	fmt.Println()
+	fmt.Println("Some NVM shrinks the network and keeps most of the tree's")
+	fmt.Println("win; all-NVM gives the smallest network but pays the PCM")
+	fmt.Println("array latency on every access and 10x energy on writes.")
+}

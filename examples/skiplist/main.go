@@ -1,0 +1,57 @@
+// Skiplist demonstrates the paper's §4.2/§5.3 contributions: the
+// skip-list topology with read/write differentiated routing, and the
+// augmented distance-based arbitration whose write-burst hysteresis lets
+// a write-heavy phase reclaim the skip links.
+//
+// It runs the write-heavy BACKPROP proxy on the tree and on the
+// skip-list with both arbitration schemes, showing that the naive
+// skip-list loses ground on write bursts and the augmented scheme
+// recovers it — the paper's Fig. 11 -> Fig. 12 story.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memnet"
+)
+
+func main() {
+	fmt.Println("Skip-list routing and write-burst hysteresis, BACKPROP proxy")
+	fmt.Println()
+
+	base := memnet.DefaultConfig()
+	base.Workload = "BACKPROP"
+	base.Transactions = 10000
+
+	run := func(topo memnet.Topology, arb memnet.Arbitration) memnet.Results {
+		cfg := base
+		cfg.Topology = topo
+		cfg.Arbitration = arb
+		res, err := memnet.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	tree := run(memnet.Tree, memnet.RoundRobin)
+	slRR := run(memnet.SkipList, memnet.RoundRobin)
+	slAug := run(memnet.SkipList, memnet.DistanceAugmented)
+
+	rel := func(r memnet.Results) float64 {
+		return (float64(tree.FinishTime)/float64(r.FinishTime) - 1) * 100
+	}
+	fmt.Printf("tree, round-robin            finish=%-9v (reference)\n", tree.FinishTime)
+	fmt.Printf("skip-list, round-robin       finish=%-9v %+.1f%% vs tree\n",
+		slRR.FinishTime, rel(slRR))
+	fmt.Printf("skip-list, augmented arb     finish=%-9v %+.1f%% vs tree\n",
+		slAug.FinishTime, rel(slAug))
+
+	fmt.Println()
+	fmt.Println("With plain round-robin, BACKPROP's write bursts crawl down")
+	fmt.Println("the skip-list's central chain and dependent reads stall on")
+	fmt.Println("their acknowledgments. The augmented scheme's hysteresis")
+	fmt.Println("monitor detects the bursts at the system port and re-admits")
+	fmt.Println("writes to the skip links, recovering the loss (paper §5.3).")
+}

@@ -1,0 +1,631 @@
+// Package core composes the memnet subsystems — topology graph, links,
+// routers, vault quadrants, host port, workload generator, statistics and
+// energy meters — into one runnable simulated memory network, and is
+// where the paper's proposals (distance-based arbitration, the skip-list
+// read/write differentiated routing, MetaCube clustering, and DRAM:NVM
+// mixing) come together.
+//
+// A simulation instance models a single host memory port and its MN.
+// This is exact, not an approximation: the paper's systems interleave the
+// physical address space across ports so each port's network is disjoint
+// and identically loaded (§2.3); whole-system numbers are per-port
+// numbers, and port-count sweeps rescale the per-port cube count and
+// injection rate.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"memnet/internal/addr"
+	"memnet/internal/arb"
+	"memnet/internal/config"
+	"memnet/internal/energy"
+	"memnet/internal/host"
+	"memnet/internal/link"
+	"memnet/internal/migrate"
+	"memnet/internal/packet"
+	"memnet/internal/router"
+	"memnet/internal/sim"
+	"memnet/internal/stats"
+	"memnet/internal/topology"
+	"memnet/internal/trace"
+	"memnet/internal/vault"
+	"memnet/internal/workload"
+)
+
+// Tuning holds the microarchitectural constants that are not part of the
+// paper's Table 2 but that the model needs; defaults reproduce the
+// paper's qualitative behavior and are exercised by the ablation benches.
+type Tuning struct {
+	// VaultQueueDepth is the per-quadrant request queue (packets).
+	VaultQueueDepth int
+	// VaultMaxInflight bounds concurrent bank accesses per quadrant.
+	VaultMaxInflight int
+	// InternalBandwidthX multiplies the external link bandwidth for the
+	// router<->vault connections on the logic die.
+	InternalBandwidthX int
+	// SwitchBandwidthBps is a memory cube's centralized-switch internal
+	// bandwidth. Heavily transited cubes (every cube of a chain, the
+	// root of any topology) contend here before saturating any one
+	// link; this is where response priority backs requests up (§3.2).
+	SwitchBandwidthBps int64
+	// IfaceSwitchBandwidthBps is the same for a MetaCube interface
+	// chip, whose interposer crossbar is high-radix and wider (§4.3).
+	IfaceSwitchBandwidthBps int64
+	// InterposerBandwidthX multiplies the external link bandwidth for
+	// MetaCube interposer traces; InterposerSerDes replaces the 2 ns
+	// SerDes cost on those links (wide parallel wires need no SerDes).
+	InterposerBandwidthX int
+	InterposerSerDes     sim.Time
+	// ShortcutHi/Lo are the write-burst hysteresis watermarks (§5.3).
+	ShortcutHi, ShortcutLo float64
+	ShortcutWindow         int
+	// NVMMaxInflight bounds concurrent array operations per NVM
+	// quadrant; PCM current-delivery limits pipeline far fewer
+	// concurrent array operations than DRAM.
+	NVMMaxInflight int
+	// MetaCubeGroup is the number of cubes per MetaCube package
+	// (default 4; bounded by interposer size, §4.3).
+	MetaCubeGroup int
+	// WavefrontSize is the host's GPU-style group-retirement size.
+	WavefrontSize int
+	// WriteDemotion is the augmented arbitration's write weight divisor.
+	WriteDemotion int64
+	// NoVCPriority disables response-over-request link priority
+	// (ablation).
+	NoVCPriority bool
+}
+
+// DefaultTuning returns the standard tuning.
+func DefaultTuning() Tuning {
+	return Tuning{
+		VaultQueueDepth:         8,
+		VaultMaxInflight:        16,
+		NVMMaxInflight:          8,
+		InternalBandwidthX:      2,
+		SwitchBandwidthBps:      300e9,
+		IfaceSwitchBandwidthBps: 960e9,
+		InterposerBandwidthX:    2,
+		InterposerSerDes:        500 * sim.Picosecond,
+		ShortcutHi:              0.65,
+		ShortcutLo:              0.45,
+		ShortcutWindow:          64,
+		MetaCubeGroup:           4,
+		WavefrontSize:           16,
+		WriteDemotion:           2,
+	}
+}
+
+// Params fully specifies one simulation run.
+type Params struct {
+	Sys  config.System
+	Topo topology.Kind
+	Arb  arb.Kind
+	// Workload drives the port; its MeanGap is automatically rescaled
+	// for port counts other than 8 (fewer ports concentrate the same
+	// system load onto each port).
+	Workload workload.Spec
+	// Transactions is the trace length to complete.
+	Transactions uint64
+	// Seed makes runs reproducible; runs differing only in Seed are
+	// statistically independent.
+	Seed uint64
+	// KeepSamples retains latency samples for percentile queries.
+	KeepSamples bool
+	// Replay, when non-empty, drives the port with the given recorded
+	// transaction trace (cycled if shorter than Transactions) instead of
+	// the synthetic workload generator; Workload then only labels the
+	// run. Trace gaps are used verbatim (no port-count rescaling).
+	Replay []workload.Tx
+	// Record wraps the generator in a recorder; the trace is available
+	// from Instance.Recorder after the run.
+	Record bool
+	// TraceDepth, when positive, records the last TraceDepth packet
+	// lifecycle events into Instance.Trace.
+	TraceDepth int
+	// Migration, when non-nil, enables the epoch-based hot-block
+	// migration manager (the heterogeneous-memory management layer of
+	// §2.4) with the given policy.
+	Migration *migrate.Config
+	// FailLinks lists edge indices (into the built topology's Edges) to
+	// fail before the run: a RAS experiment. Building fails if a listed
+	// link's loss would disconnect the network (chains and trees have no
+	// redundancy; rings, skip lists, and meshes reroute).
+	FailLinks []int
+	Tuning    Tuning
+}
+
+// Label renders the configuration the way the paper labels its bars,
+// e.g. "100%-T", "50%-SL (NVM-L)", "0%-MC".
+func (p *Params) Label() string {
+	pct := int(p.Sys.DRAMFraction*100 + 0.5)
+	base := fmt.Sprintf("%d%%-%s", pct, p.Topo.Letter())
+	if pct > 0 && pct < 100 {
+		return fmt.Sprintf("%s (%s)", base, p.Sys.Placement)
+	}
+	return base
+}
+
+// Instance is a built, runnable simulation.
+type Instance struct {
+	Params    Params
+	Eng       *sim.Engine
+	Graph     *topology.Graph
+	Mapper    *addr.Mapper
+	Port      *host.Port
+	Collector *stats.Collector
+	Meter     *energy.Meter
+
+	// Migrator is non-nil when Params.Migration enabled management.
+	Migrator *migrate.Manager
+	// Recorder is non-nil when Params.Record captured the trace.
+	Recorder *workload.Recorder
+	// Trace is non-nil when Params.TraceDepth enabled event tracing.
+	Trace *trace.Log
+
+	routers   map[packet.NodeID]*router.Router
+	quadrants map[packet.NodeID][]*vault.Quadrant
+}
+
+// TechOrder returns the per-position cube technologies implied by the
+// system's DRAM fraction and placement. Position 0 is nearest the host.
+func TechOrder(sys *config.System) ([]config.MemTech, error) {
+	nd, nn, err := sys.CubesPerPort()
+	if err != nil {
+		return nil, err
+	}
+	techs := make([]config.MemTech, 0, nd+nn)
+	if sys.Placement == config.NVMFirst {
+		for i := 0; i < nn; i++ {
+			techs = append(techs, config.NVM)
+		}
+		for i := 0; i < nd; i++ {
+			techs = append(techs, config.DRAM)
+		}
+	} else {
+		for i := 0; i < nd; i++ {
+			techs = append(techs, config.DRAM)
+		}
+		for i := 0; i < nn; i++ {
+			techs = append(techs, config.NVM)
+		}
+	}
+	return techs, nil
+}
+
+// Build constructs a simulation instance from params.
+func Build(p Params) (*Instance, error) {
+	if err := p.Sys.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Transactions == 0 {
+		return nil, fmt.Errorf("core: zero transactions")
+	}
+	if p.Tuning == (Tuning{}) {
+		p.Tuning = DefaultTuning()
+	}
+
+	techs, err := TechOrder(&p.Sys)
+	if err != nil {
+		return nil, err
+	}
+	var topoOpts []topology.Option
+	if p.Tuning.MetaCubeGroup > 0 {
+		topoOpts = append(topoOpts, topology.WithMetaCubeGroup(p.Tuning.MetaCubeGroup))
+	}
+	g, err := topology.Build(p.Topo, techs, topoOpts...)
+	if err != nil {
+		return nil, err
+	}
+	// Apply RAS failure injection, highest index first so earlier
+	// indices stay valid.
+	if len(p.FailLinks) > 0 {
+		idx := append([]int(nil), p.FailLinks...)
+		sort.Sort(sort.Reverse(sort.IntSlice(idx)))
+		for _, ei := range idx {
+			g, err = g.RemoveEdge(ei)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Capacity-proportional interleave slots in cube position order.
+	var slots []addr.CubeSlot
+	for _, n := range g.Nodes {
+		if n.Kind != topology.Cube {
+			continue
+		}
+		units := 1
+		if n.Tech == config.NVM {
+			units = int(p.Sys.NVMCubeCapacity / p.Sys.DRAMCubeCapacity)
+			if units < 1 {
+				units = 1
+			}
+		}
+		slots = append(slots, addr.CubeSlot{Node: n.ID, Tech: n.Tech, Units: units})
+	}
+	mapper, err := addr.NewMapper(&p.Sys, slots)
+	if err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine()
+	meter := energy.NewMeter(p.Sys.Energy)
+	collector := stats.NewCollector(p.KeepSamples)
+
+	var tlog *trace.Log
+	if p.TraceDepth > 0 {
+		tlog = trace.NewLog(p.TraceDepth)
+	}
+	tap := func(fn func(*packet.Packet), op trace.Op, node packet.NodeID) func(*packet.Packet) {
+		if tlog == nil {
+			return fn
+		}
+		return func(pk *packet.Packet) {
+			tlog.Record(trace.Event{
+				At: eng.Now(), Op: op, Node: node,
+				ID: pk.ID, Kind: pk.Kind, Addr: pk.Addr,
+			})
+			fn(pk)
+		}
+	}
+
+	inst := &Instance{
+		Params:    p,
+		Eng:       eng,
+		Graph:     g,
+		Mapper:    mapper,
+		Collector: collector,
+		Meter:     meter,
+		routers:   make(map[packet.NodeID]*router.Router),
+		quadrants: make(map[packet.NodeID][]*vault.Quadrant),
+	}
+
+	// Workload generator: per-port load scales inversely with the port
+	// count (the system-wide request rate is fixed; §6.1). The host's
+	// MLP window scales the same way — the processor's total outstanding
+	// capacity is a system property divided across its ports.
+	spec := p.Workload
+	spec.MeanGap = spec.MeanGap * sim.Time(p.Sys.Ports) / 8
+	if spec.Window > 0 {
+		spec.Window = spec.Window * 8 / p.Sys.Ports
+	}
+	var gen workload.Generator
+	if len(p.Replay) > 0 {
+		gen = workload.NewReplay(p.Replay)
+	} else {
+		gen = workload.New(spec, p.Sys.PortCapacity(), p.Seed|1)
+	}
+	if p.Record {
+		rec := workload.NewRecorder(gen)
+		gen = rec
+		inst.Recorder = rec
+	}
+
+	var migrator *migrate.Manager
+	if p.Migration != nil {
+		mc := *p.Migration
+		mc.BlockBytes = p.Sys.InterleaveBytes
+		migrator = migrate.New(eng, mc, func(phys uint64) config.MemTech {
+			return mapper.Tech(mapper.CubeOf(phys))
+		}, meter)
+		inst.Migrator = migrator
+	}
+
+	window := p.Sys.MaxOutstanding * 8 / p.Sys.Ports
+	if window < 1 {
+		window = 1
+	}
+	if spec.Window > 0 && spec.Window < window {
+		window = spec.Window
+	}
+	hostPort := host.New(eng, host.Config{
+		MaxOutstanding: window,
+		HostLatency:    p.Sys.HostLatency,
+		Target:         p.Transactions,
+		ShortcutEnable: p.Arb == arb.DistanceAugmented,
+		ShortcutHi:     p.Tuning.ShortcutHi,
+		ShortcutLo:     p.Tuning.ShortcutLo,
+		ShortcutWindow: p.Tuning.ShortcutWindow,
+		WavefrontSize:  p.Tuning.WavefrontSize,
+		Observe: func() func(uint64) {
+			if migrator == nil {
+				return nil
+			}
+			return migrator.Observe
+		}(),
+		ReadyAt: func() func(uint64) sim.Time {
+			if migrator == nil {
+				return nil
+			}
+			return migrator.ReadyAt
+		}(),
+		Translate: func() func(uint64) uint64 {
+			if migrator == nil {
+				return nil
+			}
+			return migrator.Translate
+		}(),
+		OnInject: func() func(*packet.Packet) {
+			if tlog == nil {
+				return nil
+			}
+			return func(pk *packet.Packet) {
+				tlog.Record(trace.Event{
+					At: eng.Now(), Op: trace.Inject, Node: packet.HostNode,
+					ID: pk.ID, Kind: pk.Kind, Addr: pk.Addr,
+				})
+			}
+		}(),
+	}, gen, host.Wiring{
+		DestOf: mapper.CubeOf,
+		DistOf: func(dst packet.NodeID, class topology.PathClass) int {
+			return g.Dist(class, packet.HostNode, dst)
+		},
+	}, collector)
+	inst.Port = hostPort
+
+	// Arbitration policy factory: one stateful policy per router.
+	biasHops := techBiasHops(&p.Sys)
+	newPolicy := func() arb.Policy {
+		cfg := arb.Config{WriteDemotion: p.Tuning.WriteDemotion}
+		if p.Arb == arb.DistanceAugmented {
+			cfg.Bias = func(n packet.NodeID) int64 {
+				if mapper.Tech(n) == config.NVM {
+					return biasHops
+				}
+				return 0
+			}
+		}
+		return arb.New(p.Arb, cfg)
+	}
+
+	// Routers for every non-host node.
+	for _, n := range g.Nodes {
+		if n.Kind == topology.Host {
+			continue
+		}
+		xbar := p.Tuning.SwitchBandwidthBps
+		if n.Kind == topology.Iface {
+			xbar = p.Tuning.IfaceSwitchBandwidthBps
+		}
+		inst.routers[n.ID] = router.New(eng, n.ID, newPolicy(), xbar)
+	}
+
+	// Per-edge link direction pairs, attached in adjacency order so that
+	// graph port indices equal router port indices.
+	extLink := link.Config{
+		BandwidthBps:  p.Sys.LinkBandwidthBps(),
+		SerDesLatency: p.Sys.SerDesLatency,
+		QueueDepth:    p.Sys.LinkBufferPackets,
+		Credits:       p.Sys.LinkBufferPackets,
+		NoVCPriority:  p.Tuning.NoVCPriority,
+		CountHop:      true,
+	}
+	ipLink := extLink
+	ipLink.BandwidthBps *= int64(p.Tuning.InterposerBandwidthX)
+	ipLink.SerDesLatency = p.Tuning.InterposerSerDes
+
+	type edgeDirs struct{ ab, ba *link.Direction } // A->B, B->A
+	dirs := make([]edgeDirs, len(g.Edges))
+	for ei, e := range g.Edges {
+		cfg := extLink
+		if e.Interposer {
+			cfg = ipLink
+		}
+		dirs[ei] = edgeDirs{
+			ab: link.New(eng, cfg, meter),
+			ba: link.New(eng, cfg, meter),
+		}
+	}
+
+	for _, n := range g.Nodes {
+		if n.Kind == topology.Host {
+			continue
+		}
+		r := inst.routers[n.ID]
+		for port := 0; port < g.Degree(n.ID); port++ {
+			e := g.EdgeAt(n.ID, port)
+			var out, in *link.Direction
+			ei := g.EdgeIndex(n.ID, port)
+			if e.A == n.ID {
+				out, in = dirs[ei].ab, dirs[ei].ba
+			} else {
+				out, in = dirs[ei].ba, dirs[ei].ab
+			}
+			buf := link.NewBuffer(p.Sys.LinkBufferPackets, in.ReturnCredit)
+			idx := r.AttachPort(buf, out)
+			in.SetDeliver(tap(r.Deliver(idx), trace.Arrive, n.ID))
+		}
+	}
+
+	// Host wiring: the host's single link.
+	hostEdgeIdx := g.EdgeIndex(packet.HostNode, 0)
+	he := g.Edges[hostEdgeIdx]
+	var hostOut, hostIn *link.Direction
+	if he.A == packet.HostNode {
+		hostOut, hostIn = dirs[hostEdgeIdx].ab, dirs[hostEdgeIdx].ba
+	} else {
+		hostOut, hostIn = dirs[hostEdgeIdx].ba, dirs[hostEdgeIdx].ab
+	}
+	hostPort.Attach(hostOut)
+	hostIn.SetDeliver(tap(func(pk *packet.Packet) {
+		vc := packet.VCOf(pk.Kind)
+		hostPort.Receive(pk)
+		hostIn.ReturnCredit(vc)
+	}, trace.Complete, packet.HostNode))
+
+	// Vault quadrants behind every cube.
+	intLink := link.Config{
+		BandwidthBps:  p.Sys.LinkBandwidthBps() * int64(p.Tuning.InternalBandwidthX),
+		SerDesLatency: 0,
+		QueueDepth:    p.Tuning.VaultQueueDepth,
+		Credits:       p.Tuning.VaultQueueDepth,
+		CountHop:      false,
+	}
+	for _, n := range g.Nodes {
+		if n.Kind != topology.Cube {
+			continue
+		}
+		r := inst.routers[n.ID]
+		extDeg := g.Degree(n.ID)
+		node := n.ID
+		retDist := func(pk *packet.Packet) int {
+			// Responses travel the short (shortest-path) table.
+			return g.Dist(topology.PathShort, node, pk.Src)
+		}
+		inflight := p.Tuning.VaultMaxInflight
+		if n.Tech == config.NVM && p.Tuning.NVMMaxInflight > 0 {
+			inflight = p.Tuning.NVMMaxInflight
+		}
+		quads := make([]*vault.Quadrant, p.Sys.Quadrants)
+		for qi := 0; qi < p.Sys.Quadrants; qi++ {
+			toQuad := link.New(eng, intLink, meter)
+			fromQuad := link.New(eng, intLink, meter)
+			q := vault.New(eng, vault.Config{
+				Tech:        n.Tech,
+				Timing:      p.Sys.Timing(n.Tech),
+				Index:       qi,
+				ExtPorts:    extDeg,
+				Penalty:     p.Sys.WrongQuadrantPenalty,
+				Banks:       p.Sys.BanksPerQuadrant(),
+				MaxInflight: inflight,
+				BankMap: func(a uint64) (int, int64) {
+					_, _, bank, row := mapper.Decompose(a)
+					return bank, row
+				},
+				ReturnDist: retDist,
+				Meter:      meter,
+			})
+			quadIn := link.NewBuffer(p.Tuning.VaultQueueDepth, toQuad.ReturnCredit)
+			q.Attach(quadIn, fromQuad)
+			toQuad.SetDeliver(tap(q.Deliver(), trace.MemStart, node))
+
+			routerIn := link.NewBuffer(p.Tuning.VaultQueueDepth, fromQuad.ReturnCredit)
+			idx := r.AttachPort(routerIn, toQuad)
+			fromQuad.SetDeliver(tap(r.Deliver(idx), trace.MemDone, node))
+			quads[qi] = q
+		}
+		inst.quadrants[n.ID] = quads
+	}
+
+	// Routing functions, closing over the host's shortcut state.
+	for _, n := range g.Nodes {
+		if n.Kind == topology.Host {
+			continue
+		}
+		node := n.ID
+		extDeg := g.Degree(node)
+		isCube := n.Kind == topology.Cube
+		inst.routers[node].SetRoute(func(pk *packet.Packet) int {
+			if isCube && pk.Dst == node {
+				_, quad, _, _ := mapper.Decompose(pk.Addr)
+				return extDeg + quad
+			}
+			port := g.NextPort(topology.PathClass(pk.Class), node, pk.Dst)
+			if port < 0 {
+				panic(fmt.Sprintf("core: no route from %d to %d", node, pk.Dst))
+			}
+			return port
+		})
+	}
+
+	inst.Trace = tlog
+
+	// Prime the injection process.
+	eng.Schedule(0, hostPort.Kick)
+	return inst, nil
+}
+
+// techBiasHops converts the NVM-vs-DRAM read latency gap into
+// hop-equivalents for the augmented arbitration weight, following the
+// paper's empirical tuning "using both average network hop latency and
+// average memory access latency for each cube technology type" (§5.3).
+func techBiasHops(sys *config.System) int64 {
+	dr := sys.DRAMTiming.TRCD + sys.DRAMTiming.TCL
+	nv := sys.NVMTiming.TRCD + sys.NVMTiming.TCL
+	hop := sys.SerDesLatency + sim.BitTime(packet.DataBits, sys.LinkBandwidthBps())
+	if hop <= 0 {
+		return 0
+	}
+	b := int64((nv - dr) / hop)
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// Results summarizes a completed run.
+type Results struct {
+	// Label is the paper-style configuration name (e.g. "50%-SL (NVM-L)").
+	Label string
+	// Workload names the traffic proxy that drove the run.
+	Workload string
+	// FinishTime is when the last transaction completed — the
+	// execution-time metric behind every speedup in the paper.
+	FinishTime sim.Time
+	// MeanLatency is the average end-to-end transaction latency.
+	MeanLatency sim.Time
+	// Breakdown splits MeanLatency into to-memory / in-memory /
+	// from-memory components (Fig. 5).
+	Breakdown stats.Breakdown
+	// Energy is the dynamic-energy account (Fig. 15).
+	Energy energy.Breakdown
+	// Transactions, Reads, and Writes count completed operations.
+	Transactions uint64
+	Reads        uint64
+	Writes       uint64
+	// MeanHops is the average response-path hop count (requests take a
+	// symmetric path except for skip-list writes).
+	MeanHops float64
+	// Events is the number of simulation events executed (a cost and
+	// determinism fingerprint).
+	Events uint64
+}
+
+// Run executes the instance until the host completes its trace. It
+// returns an error if the simulation deadlocks (event queue drains
+// early) or exceeds the safety horizon.
+func (in *Instance) Run() (Results, error) {
+	const horizon = 10 * sim.Second
+	progressed := in.Eng.RunWhile(func() bool {
+		if in.Eng.Now() > horizon {
+			return false
+		}
+		return !in.Port.Done()
+	})
+	if !progressed && !in.Port.Done() {
+		return Results{}, fmt.Errorf(
+			"core: deadlock in %s/%s: %d/%d transactions after %v",
+			in.Params.Label(), in.Params.Workload.Name,
+			in.Collector.Completed(), in.Params.Transactions, in.Eng.Now())
+	}
+	if !in.Port.Done() {
+		return Results{}, fmt.Errorf("core: horizon exceeded in %s/%s",
+			in.Params.Label(), in.Params.Workload.Name)
+	}
+	return Results{
+		Label:        in.Params.Label(),
+		Workload:     in.Params.Workload.Name,
+		FinishTime:   in.Collector.FinishTime(),
+		MeanLatency:  in.Collector.MeanLatency(),
+		Breakdown:    in.Collector.MeanBreakdown(),
+		Energy:       in.Meter.Report(),
+		Transactions: in.Collector.Completed(),
+		Reads:        in.Collector.Reads(),
+		Writes:       in.Collector.Writes(),
+		MeanHops:     in.Collector.MeanHops(),
+		Events:       in.Eng.Fired(),
+	}, nil
+}
+
+// Simulate is the one-call convenience: build and run.
+func Simulate(p Params) (Results, error) {
+	in, err := Build(p)
+	if err != nil {
+		return Results{}, err
+	}
+	return in.Run()
+}

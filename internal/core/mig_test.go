@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"memnet/internal/arb"
+	"memnet/internal/config"
+	"memnet/internal/migrate"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+func TestMigrationEndToEnd(t *testing.T) {
+	spec := workload.Spec{
+		Name: "HOTSET", ReadFraction: 0.7, MeanGap: 3 * sim.Nanosecond,
+		SeqProb: 0.30, SeqStride: 64,
+		HotFraction: 0.65, HotRegion: 0.125 / (256 * 1024),
+	}
+	results := map[bool]Results{}
+	for _, mig := range []bool{false, true} {
+		sys := config.Default()
+		sys.DRAMFraction = 0.5
+		p := Params{
+			Sys: sys, Topo: topology.Tree, Arb: arb.RoundRobin,
+			Workload: spec, Transactions: 30000, Seed: 1, KeepSamples: true,
+		}
+		if mig {
+			mc := migrate.DefaultConfig()
+			mc.Epoch = 10 * sim.Microsecond
+			mc.HotThreshold = 2
+			mc.MaxSwapsPerEpoch = 128
+			mc.Blackout = 0
+			p.Migration = &mc
+		}
+		in, err := Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := in.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("mig=%v finish=%v lat=%v p99=%v parks=%d swaps=%v",
+			mig, res.FinishTime, res.MeanLatency,
+			in.Collector.Percentile(99), in.Port.Parks(),
+			mig && in.Migrator != nil)
+		results[mig] = res
+		if mig {
+			if in.Migrator.Stats().Swaps == 0 {
+				t.Fatal("no migrations happened")
+			}
+			// The coherence ordering point must keep working across the
+			// indirection: parked reads release (a bounded count parks).
+			if in.Port.Parks() > 1000 {
+				t.Fatalf("parks exploded (%d): coherence keying broken under migration",
+					in.Port.Parks())
+			}
+		}
+	}
+	// Migration must improve the mean latency (hot reads leave NVM) and
+	// must not slow completion down.
+	if results[true].MeanLatency >= results[false].MeanLatency {
+		t.Fatalf("migration did not improve latency: %v vs %v",
+			results[true].MeanLatency, results[false].MeanLatency)
+	}
+	if float64(results[true].FinishTime) > float64(results[false].FinishTime)*1.01 {
+		t.Fatalf("migration slowed completion: %v vs %v",
+			results[true].FinishTime, results[false].FinishTime)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memnet/internal/mem"
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/vault"
+)
+
+// NodeReport summarizes one node's routers and vaults after a run; the
+// per-port service-share numbers make the paper's "parking lot"
+// unfairness directly visible.
+type NodeReport struct {
+	Node      packet.NodeID
+	Kind      topology.NodeKind
+	Forwarded uint64
+	Contended uint64
+	// InputWait is total input-buffer residency across the node's ports
+	// — the queuing metric of the paper's §3.2 router analysis.
+	InputWait sim.Time
+	// PortWait is the per-port mean input residency (external ports
+	// first, then local vault ports).
+	PortWait []sim.Time
+	// Vault aggregates the node's quadrant controllers (zero for
+	// interface chips).
+	Vault vault.Stats
+	Banks mem.BankStats
+}
+
+// Report builds per-node reports sorted by node ID.
+func (in *Instance) Report() []NodeReport {
+	out := make([]NodeReport, 0, len(in.routers))
+	for id, r := range in.routers {
+		nr := NodeReport{
+			Node:      id,
+			Kind:      in.Graph.Nodes[id].Kind,
+			Forwarded: r.Forwarded[packet.VCRequest] + r.Forwarded[packet.VCResponse],
+			Contended: r.Contended,
+			InputWait: r.TotalInputWait(),
+		}
+		for i := 0; i < r.NumPorts(); i++ {
+			nr.PortWait = append(nr.PortWait, r.InputBuffer(i).MeanWait())
+		}
+		for _, q := range in.quadrants[id] {
+			s := q.Stats()
+			nr.Vault.Reads += s.Reads
+			nr.Vault.Writes += s.Writes
+			nr.Vault.WrongQuad += s.WrongQuad
+			nr.Vault.QueueWait += s.QueueWait
+			nr.Vault.ServiceTime += s.ServiceTime
+			bs := q.BankStats()
+			nr.Banks.Reads += bs.Reads
+			nr.Banks.Writes += bs.Writes
+			nr.Banks.RowHits += bs.RowHits
+			nr.Banks.RowMisses += bs.RowMisses
+			nr.Banks.RowConflicts += bs.RowConflicts
+			nr.Banks.Refreshes += bs.Refreshes
+			nr.Banks.BusyTime += bs.BusyTime
+		}
+		out = append(out, nr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// RowHitRate reports the fraction of bank accesses that hit an open row.
+func (nr *NodeReport) RowHitRate() float64 {
+	total := nr.Banks.RowHits + nr.Banks.RowMisses + nr.Banks.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(nr.Banks.RowHits) / float64(total)
+}
+
+// ReportText renders the per-node table for CLI consumption.
+func (in *Instance) ReportText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-6s %-6s %9s %9s %11s %8s %8s %7s\n",
+		"node", "kind", "tech", "forwarded", "contended", "input-wait",
+		"reads", "writes", "rowhit")
+	for _, nr := range in.Report() {
+		kind, tech := "cube", in.Graph.Nodes[nr.Node].Tech.String()
+		if nr.Kind == topology.Iface {
+			kind, tech = "iface", "-"
+		}
+		fmt.Fprintf(&b, "%-5d %-6s %-6s %9d %9d %11v %8d %8d %6.1f%%\n",
+			nr.Node, kind, tech, nr.Forwarded, nr.Contended, nr.InputWait,
+			nr.Vault.Reads, nr.Vault.Writes, nr.RowHitRate()*100)
+	}
+	return b.String()
+}

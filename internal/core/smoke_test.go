@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"memnet/internal/arb"
+	"memnet/internal/config"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+// testParams returns a small but complete configuration for fast tests.
+func testParams(topo topology.Kind, dramFrac float64, place config.Placement,
+	arbKind arb.Kind, wl workload.Spec) Params {
+	sys := config.Default()
+	sys.DRAMFraction = dramFrac
+	sys.Placement = place
+	return Params{
+		Sys:          sys,
+		Topo:         topo,
+		Arb:          arbKind,
+		Workload:     wl,
+		Transactions: 2000,
+		Seed:         42,
+	}
+}
+
+func TestSmokeAllTopologies(t *testing.T) {
+	wl, err := workload.ByName("BUFF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topo := range topology.Kinds {
+		p := testParams(topo, 1.0, config.NVMLast, arb.RoundRobin, wl)
+		res, err := Simulate(p)
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		if res.Transactions < p.Transactions {
+			t.Fatalf("%v: only %d transactions", topo, res.Transactions)
+		}
+		t.Logf("%-9v finish=%v meanLat=%v to/in/from=%v/%v/%v hops=%.2f events=%d",
+			topo, res.FinishTime, res.MeanLatency,
+			res.Breakdown.ToMem, res.Breakdown.InMem, res.Breakdown.FromMem,
+			res.MeanHops, res.Events)
+	}
+}
+
+func TestSmokeMixedNVM(t *testing.T) {
+	wl, _ := workload.ByName("KMEANS")
+	for _, frac := range []float64{0.5, 0} {
+		for _, place := range []config.Placement{config.NVMLast, config.NVMFirst} {
+			for _, ak := range []arb.Kind{arb.RoundRobin, arb.Distance, arb.DistanceAugmented} {
+				p := testParams(topology.Tree, frac, place, ak, wl)
+				res, err := Simulate(p)
+				if err != nil {
+					t.Fatalf("frac=%v %v %v: %v", frac, place, ak, err)
+				}
+				t.Logf("%-16s arb=%-18v finish=%v meanLat=%v", p.Label(), ak,
+					res.FinishTime, res.MeanLatency)
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package ddr models the conventional multi-drop DDR bus whose
+// capacity/bandwidth tradeoff motivates memory networks (§2.1, Table 1):
+// adding DIMMs to a channel increases electrical loading and forces the
+// bus clock down, so capacity scales only by sacrificing bandwidth —
+// exactly what point-to-point cube links avoid.
+package ddr
+
+import "fmt"
+
+// Generation identifies a DDR standard.
+type Generation uint8
+
+const (
+	// DDR3 per Table 1 (Dell PowerEdge 2009 guidance).
+	DDR3 Generation = iota
+	// DDR4 per Table 1 (Dell 2016 guidance).
+	DDR4
+)
+
+// String implements fmt.Stringer.
+func (g Generation) String() string {
+	if g == DDR4 {
+		return "DDR4"
+	}
+	return "DDR3"
+}
+
+// speedTable reproduces Table 1: maximum bus clock (MHz) by DIMMs per
+// channel.
+var speedTable = map[Generation][3]int{
+	DDR3: {1333, 1066, 800},
+	DDR4: {2133, 2133, 1866},
+}
+
+// MaxSpeedMHz returns the maximum supported bus clock for the given
+// number of DIMMs per channel (1-3). It returns an error outside the
+// supported population range, mirroring the servers' 3-DPC limit.
+func MaxSpeedMHz(g Generation, dimmsPerChannel int) (int, error) {
+	if dimmsPerChannel < 1 || dimmsPerChannel > 3 {
+		return 0, fmt.Errorf("ddr: %d DIMMs per channel unsupported (1-3)", dimmsPerChannel)
+	}
+	return speedTable[g][dimmsPerChannel-1], nil
+}
+
+// Channel models one populated DDR channel.
+type Channel struct {
+	Gen Generation
+	DPC int
+	// DIMMCapacity in bytes.
+	DIMMCapacity uint64
+}
+
+// Capacity returns the channel's total capacity.
+func (c Channel) Capacity() uint64 { return uint64(c.DPC) * c.DIMMCapacity }
+
+// BandwidthGBs returns the channel's peak bandwidth in GB/s: the bus is
+// 64 bits wide and transfers on both clock edges (the "DDR" in DDR), so
+// peak bytes/s = MT/s x 8. The MHz figures in Table 1 are transfer
+// rates (MT/s) per industry convention.
+func (c Channel) BandwidthGBs() (float64, error) {
+	mhz, err := MaxSpeedMHz(c.Gen, c.DPC)
+	if err != nil {
+		return 0, err
+	}
+	return float64(mhz) * 1e6 * 8 / 1e9, nil
+}
+
+// Point is one entry of the capacity/bandwidth frontier.
+type Point struct {
+	DPC           int
+	SpeedMTs      int
+	CapacityBytes uint64
+	BandwidthGBs  float64
+}
+
+// Frontier sweeps 1-3 DPC for a generation and DIMM size, exposing the
+// tradeoff the paper's introduction describes.
+func Frontier(g Generation, dimmCapacity uint64) []Point {
+	pts := make([]Point, 0, 3)
+	for dpc := 1; dpc <= 3; dpc++ {
+		ch := Channel{Gen: g, DPC: dpc, DIMMCapacity: dimmCapacity}
+		bw, err := ch.BandwidthGBs()
+		if err != nil {
+			continue
+		}
+		mhz, _ := MaxSpeedMHz(g, dpc)
+		pts = append(pts, Point{
+			DPC:           dpc,
+			SpeedMTs:      mhz,
+			CapacityBytes: ch.Capacity(),
+			BandwidthGBs:  bw,
+		})
+	}
+	return pts
+}

@@ -1,0 +1,78 @@
+package ddr
+
+import "testing"
+
+// TestTable1 pins the paper's Table 1 exactly.
+func TestTable1(t *testing.T) {
+	want := map[Generation][3]int{
+		DDR3: {1333, 1066, 800},
+		DDR4: {2133, 2133, 1866},
+	}
+	for g, speeds := range want {
+		for dpc := 1; dpc <= 3; dpc++ {
+			got, err := MaxSpeedMHz(g, dpc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != speeds[dpc-1] {
+				t.Errorf("%v %d DPC = %d, want %d", g, dpc, got, speeds[dpc-1])
+			}
+		}
+	}
+}
+
+func TestUnsupportedPopulation(t *testing.T) {
+	for _, dpc := range []int{0, 4, -1} {
+		if _, err := MaxSpeedMHz(DDR4, dpc); err == nil {
+			t.Errorf("%d DPC should be rejected", dpc)
+		}
+	}
+}
+
+func TestChannelDerived(t *testing.T) {
+	ch := Channel{Gen: DDR4, DPC: 2, DIMMCapacity: 32 << 30}
+	if ch.Capacity() != 64<<30 {
+		t.Fatal("capacity")
+	}
+	bw, err := ch.BandwidthGBs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2133 MT/s x 8 B = 17.064 GB/s.
+	if bw < 17.0 || bw > 17.1 {
+		t.Fatalf("bandwidth %.3f", bw)
+	}
+	bad := Channel{Gen: DDR3, DPC: 9}
+	if _, err := bad.BandwidthGBs(); err == nil {
+		t.Fatal("bad DPC must error")
+	}
+}
+
+// TestFrontierTradeoff verifies the paper's motivating observation:
+// capacity strictly grows with DPC while bandwidth never improves.
+func TestFrontierTradeoff(t *testing.T) {
+	for _, g := range []Generation{DDR3, DDR4} {
+		pts := Frontier(g, 16<<30)
+		if len(pts) != 3 {
+			t.Fatalf("%v frontier has %d points", g, len(pts))
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].CapacityBytes <= pts[i-1].CapacityBytes {
+				t.Errorf("%v: capacity not increasing", g)
+			}
+			if pts[i].BandwidthGBs > pts[i-1].BandwidthGBs {
+				t.Errorf("%v: bandwidth increased with load", g)
+			}
+		}
+		// DDR3 specifically loses bandwidth at every step.
+		if g == DDR3 && pts[2].BandwidthGBs >= pts[0].BandwidthGBs {
+			t.Error("DDR3 3DPC should be slower than 1DPC")
+		}
+	}
+}
+
+func TestGenerationString(t *testing.T) {
+	if DDR3.String() != "DDR3" || DDR4.String() != "DDR4" {
+		t.Fatal("names")
+	}
+}

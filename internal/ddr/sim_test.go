@@ -1,0 +1,90 @@
+package ddr
+
+import (
+	"testing"
+
+	"memnet/internal/sim"
+	"memnet/internal/workload"
+)
+
+func testChannel(t *testing.T, dpc int) *ChannelSim {
+	t.Helper()
+	cs, err := NewChannelSim(Channel{Gen: DDR4, DPC: dpc, DIMMCapacity: 32 << 30}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func TestChannelSingleAccess(t *testing.T) {
+	cs := testChannel(t, 1)
+	done := cs.Access(0, 0, false)
+	// Closed row: tRCD + tCL + burst, then the bus transfer.
+	if done < 18*sim.Nanosecond || done > 30*sim.Nanosecond {
+		t.Fatalf("first access done at %v", done)
+	}
+}
+
+func TestBusSerializes(t *testing.T) {
+	cs := testChannel(t, 1)
+	// Two accesses to different banks at the same instant: arrays overlap
+	// but the shared data bus serializes the transfers.
+	d1 := cs.Access(0, 0, false)
+	d2 := cs.Access(0, 64, false)
+	if d2 < d1+cs.beat {
+		t.Fatalf("bus did not serialize: %v then %v (beat %v)", d1, d2, cs.beat)
+	}
+}
+
+func TestThreeDPCSlowerBus(t *testing.T) {
+	fast := testChannel(t, 2) // 2133 MT/s
+	slow := testChannel(t, 3) // 1866 MT/s
+	if slow.beat <= fast.beat {
+		t.Fatalf("3DPC beat %v not slower than 2DPC %v", slow.beat, fast.beat)
+	}
+}
+
+func TestRunTraceSaturation(t *testing.T) {
+	// Demand far above the channel's ~17GB/s: the bus saturates and
+	// latency balloons; utilization approaches 1.
+	spec := workload.Spec{
+		Name: "stream", ReadFraction: 0.7, MeanGap: 1 * sim.Nanosecond,
+		SeqProb: 0.8, SeqStride: 64,
+	}
+	cs := testChannel(t, 3)
+	res := cs.RunTrace(workload.New(spec, 1<<30, 1), 20000)
+	if res.Completed != 20000 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	if res.BusUtilization < 0.95 {
+		t.Fatalf("bus utilization %.2f, expected saturation", res.BusUtilization)
+	}
+	// Mean latency far above the unloaded ~25ns.
+	if res.MeanLatency < 100*sim.Nanosecond {
+		t.Fatalf("mean latency %v too low for an overloaded channel", res.MeanLatency)
+	}
+}
+
+func TestRunTraceLightLoad(t *testing.T) {
+	spec := workload.Spec{
+		Name: "light", ReadFraction: 0.7, MeanGap: 50 * sim.Nanosecond,
+		SeqProb: 0.5, SeqStride: 64,
+	}
+	cs := testChannel(t, 1)
+	res := cs.RunTrace(workload.New(spec, 1<<30, 1), 5000)
+	if res.MeanLatency > 60*sim.Nanosecond {
+		t.Fatalf("light load latency %v too high", res.MeanLatency)
+	}
+	if res.BusUtilization > 0.2 {
+		t.Fatalf("light load utilization %.2f", res.BusUtilization)
+	}
+}
+
+func TestChannelSimErrors(t *testing.T) {
+	if _, err := NewChannelSim(Channel{Gen: DDR4, DPC: 9}, 16); err == nil {
+		t.Fatal("bad DPC must fail")
+	}
+	if _, err := NewChannelSim(Channel{Gen: DDR4, DPC: 1, DIMMCapacity: 1 << 30}, 0); err == nil {
+		t.Fatal("zero banks must fail")
+	}
+}

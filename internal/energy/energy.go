@@ -1,0 +1,76 @@
+// Package energy implements the pJ/bit dynamic-energy accounting of
+// Section 5: every link hop costs 5 pJ/bit, DRAM array accesses cost
+// 12 pJ/bit, and PCM-based NVM costs 12 pJ/bit to read but 120 pJ/bit
+// (10x) to write. Static energy is excluded, as in the paper.
+package energy
+
+import "memnet/internal/config"
+
+// Meter accumulates dynamic energy for one simulated memory network.
+// The zero value is ready to use with zero coefficients; construct with
+// NewMeter to use a configuration's constants.
+type Meter struct {
+	coef config.Energy
+
+	networkBitHops uint64
+	dramReadBits   uint64
+	dramWriteBits  uint64
+	nvmReadBits    uint64
+	nvmWriteBits   uint64
+}
+
+// NewMeter returns a meter using the given coefficients.
+func NewMeter(coef config.Energy) *Meter { return &Meter{coef: coef} }
+
+// Hop records a packet of the given size traversing one link.
+func (m *Meter) Hop(bits int) { m.networkBitHops += uint64(bits) }
+
+// Access records a memory-array access of the given technology and
+// direction moving the given number of bits.
+func (m *Meter) Access(tech config.MemTech, write bool, bits int) {
+	b := uint64(bits)
+	switch {
+	case tech == config.DRAM && !write:
+		m.dramReadBits += b
+	case tech == config.DRAM && write:
+		m.dramWriteBits += b
+	case tech == config.NVM && !write:
+		m.nvmReadBits += b
+	default:
+		m.nvmWriteBits += b
+	}
+}
+
+// Breakdown is a report of accumulated energy in picojoules.
+type Breakdown struct {
+	NetworkPJ float64
+	ReadPJ    float64
+	WritePJ   float64
+}
+
+// TotalPJ returns the sum of all components.
+func (b Breakdown) TotalPJ() float64 { return b.NetworkPJ + b.ReadPJ + b.WritePJ }
+
+// Report computes the energy breakdown from the counters.
+func (m *Meter) Report() Breakdown {
+	return Breakdown{
+		NetworkPJ: float64(m.networkBitHops) * m.coef.NetworkPJPerBitHop,
+		ReadPJ: float64(m.dramReadBits)*m.coef.DRAMReadPJPerBit +
+			float64(m.nvmReadBits)*m.coef.NVMReadPJPerBit,
+		WritePJ: float64(m.dramWriteBits)*m.coef.DRAMWritePJPerBit +
+			float64(m.nvmWriteBits)*m.coef.NVMWritePJPerBit,
+	}
+}
+
+// BitHops reports the raw network bit-hop count (for tests).
+func (m *Meter) BitHops() uint64 { return m.networkBitHops }
+
+// Add merges another meter's counters into m (used to aggregate the
+// identical per-port networks into a system total).
+func (m *Meter) Add(o *Meter) {
+	m.networkBitHops += o.networkBitHops
+	m.dramReadBits += o.dramReadBits
+	m.dramWriteBits += o.dramWriteBits
+	m.nvmReadBits += o.nvmReadBits
+	m.nvmWriteBits += o.nvmWriteBits
+}

@@ -1,0 +1,69 @@
+package energy
+
+import (
+	"testing"
+
+	"memnet/internal/config"
+)
+
+func TestAccounting(t *testing.T) {
+	m := NewMeter(config.Default().Energy)
+	m.Hop(640)
+	m.Hop(128)
+	m.Access(config.DRAM, false, 512)
+	m.Access(config.DRAM, true, 512)
+	m.Access(config.NVM, false, 512)
+	m.Access(config.NVM, true, 512)
+
+	r := m.Report()
+	if r.NetworkPJ != float64(768)*5 {
+		t.Fatalf("network %v", r.NetworkPJ)
+	}
+	if r.ReadPJ != 512*12+512*12 {
+		t.Fatalf("read %v", r.ReadPJ)
+	}
+	if r.WritePJ != 512*12+512*120 {
+		t.Fatalf("write %v", r.WritePJ)
+	}
+	if r.TotalPJ() != r.NetworkPJ+r.ReadPJ+r.WritePJ {
+		t.Fatal("total")
+	}
+	if m.BitHops() != 768 {
+		t.Fatalf("bithops %d", m.BitHops())
+	}
+}
+
+func TestNVMWriteIs10x(t *testing.T) {
+	m := NewMeter(config.Default().Energy)
+	m.Access(config.NVM, true, 100)
+	n := NewMeter(config.Default().Energy)
+	n.Access(config.NVM, false, 100)
+	if m.Report().WritePJ != 10*n.Report().ReadPJ {
+		t.Fatal("NVM write should cost 10x its read")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := NewMeter(config.Default().Energy)
+	a.Hop(100)
+	a.Access(config.DRAM, false, 64)
+	b := NewMeter(config.Default().Energy)
+	b.Hop(50)
+	b.Access(config.NVM, true, 64)
+	a.Add(b)
+	r := a.Report()
+	if r.NetworkPJ != 150*5 {
+		t.Fatalf("merged network %v", r.NetworkPJ)
+	}
+	if r.WritePJ != 64*120 {
+		t.Fatalf("merged write %v", r.WritePJ)
+	}
+}
+
+func TestZeroMeter(t *testing.T) {
+	var m Meter
+	m.Hop(1000)
+	if m.Report().TotalPJ() != 0 {
+		t.Fatal("zero coefficients must yield zero energy")
+	}
+}

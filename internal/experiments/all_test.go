@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// TestAllFiguresQuick runs every figure harness at reduced scale,
+// validating that each completes and produces full tables.
+func TestAllFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure sweep")
+	}
+	r := NewRunner(QuickOptions())
+	type fig struct {
+		name string
+		fn   func() (*Table, error)
+		rows int
+	}
+	for _, f := range []fig{
+		{"fig4", r.Fig4, 2},
+		{"fig5", r.Fig5, 9},
+		{"fig7", r.Fig7, 4},
+		{"fig10", r.Fig10, 12},
+		{"fig11", r.Fig11, 12},
+		{"fig12", r.Fig12, 12},
+		{"fig13", r.Fig13, 12},
+		{"fig14", r.Fig14, 20},
+		{"fig15", r.Fig15, 20},
+	} {
+		tab, err := f.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		if len(tab.Rows) != f.rows {
+			t.Errorf("%s: got %d rows, want %d", f.name, len(tab.Rows), f.rows)
+		}
+		t.Logf("\n%s", tab.Text())
+	}
+}

@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"memnet/internal/arb"
+	"memnet/internal/config"
+	"memnet/internal/topology"
+)
+
+// baselineChain is the 100%-Chain round-robin configuration every
+// figure's normalization refers to.
+var baselineChain = MNConfig{
+	Topo: topology.Chain, DRAMFraction: 1.0,
+	Placement: config.NVMLast, Arb: arb.RoundRobin,
+}
+
+// Fig4 regenerates Fig. 4: speedup of all-DRAM ring and tree networks
+// over the all-DRAM chain, per workload, round-robin arbitration.
+func (r *Runner) Fig4() (*Table, error) {
+	cfgs := []MNConfig{
+		{Topo: topology.Ring, DRAMFraction: 1, Arb: arb.RoundRobin},
+		{Topo: topology.Tree, DRAMFraction: 1, Arb: arb.RoundRobin},
+	}
+	return r.speedupTable("fig4",
+		"Fig. 4: speedup of DRAM memory networks over chain topology",
+		cfgs, func(MNConfig) MNConfig { return baselineChain })
+}
+
+// Fig5 regenerates Fig. 5: the to-memory / in-memory / from-memory
+// latency breakdown for chain, ring, and tree all-DRAM networks, with
+// every component normalized to the chain's total latency for that
+// workload (the paper's presentation). Rows are "<Topo>/<component>".
+func (r *Runner) Fig5() (*Table, error) {
+	suite := r.Opts.suite()
+	fig5Cfgs := []MNConfig{
+		baselineChain,
+		{Topo: topology.Ring, DRAMFraction: 1, Arb: arb.RoundRobin},
+		{Topo: topology.Tree, DRAMFraction: 1, Arb: arb.RoundRobin},
+	}
+	if err := r.Warm(fig5Cfgs, suite); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Fig. 5: memory request latency breakdown relative to chain",
+		Columns: workloadColumns(suite)[:len(suite)], // no average column
+		Unit:    "fraction of chain total latency",
+	}
+	topos := []topology.Kind{topology.Chain, topology.Ring, topology.Tree}
+	type comp struct{ name string }
+	comps := []comp{{"to-memory"}, {"in-memory"}, {"from-memory"}}
+	rows := make(map[string][]float64)
+	for _, wl := range suite {
+		base, err := r.Run(baselineChain, wl)
+		if err != nil {
+			return nil, err
+		}
+		baseTotal := float64(base.Breakdown.Total())
+		for _, topo := range topos {
+			cfg := MNConfig{Topo: topo, DRAMFraction: 1, Arb: arb.RoundRobin}
+			res, err := r.Run(cfg, wl)
+			if err != nil {
+				return nil, err
+			}
+			parts := []float64{
+				float64(res.Breakdown.ToMem) / baseTotal,
+				float64(res.Breakdown.InMem) / baseTotal,
+				float64(res.Breakdown.FromMem) / baseTotal,
+			}
+			for ci, c := range comps {
+				label := topo.String() + "/" + c.name
+				rows[label] = append(rows[label], parts[ci])
+			}
+		}
+	}
+	for _, topo := range topos {
+		for _, c := range comps {
+			label := topo.String() + "/" + c.name
+			t.Rows = append(t.Rows, Row{Label: label, Values: rows[label]})
+		}
+	}
+	return t, nil
+}
+
+// Fig7 regenerates Fig. 7: the tree topology with DRAM:NVM ratios 100%,
+// 50% (NVM-L), 50% (NVM-F) and 0%, as speedup over the 100% chain.
+func (r *Runner) Fig7() (*Table, error) {
+	var cfgs []MNConfig
+	for _, rt := range ratios {
+		cfgs = append(cfgs, MNConfig{
+			Topo: topology.Tree, DRAMFraction: rt.frac,
+			Placement: rt.place, Arb: arb.RoundRobin,
+		})
+	}
+	return r.speedupTable("fig7",
+		"Fig. 7: tree topology with different DRAM:NVM ratios vs 100% chain",
+		cfgs, func(MNConfig) MNConfig { return baselineChain })
+}
+
+// Fig10 regenerates Fig. 10: the naive distance-based arbitration's
+// speedup over round-robin on the twelve baseline configurations
+// ({chain, ring, tree} x {100%, 50% NVM-L, 50% NVM-F, 0%}).
+func (r *Runner) Fig10() (*Table, error) {
+	var cfgs []MNConfig
+	for _, topo := range []topology.Kind{topology.Chain, topology.Ring, topology.Tree} {
+		for _, rt := range ratios {
+			cfgs = append(cfgs, MNConfig{
+				Topo: topo, DRAMFraction: rt.frac,
+				Placement: rt.place, Arb: arb.Distance,
+			})
+		}
+	}
+	return r.speedupTable("fig10",
+		"Fig. 10: distance-based arbitration speedup over round-robin",
+		cfgs, func(c MNConfig) MNConfig {
+			c.Arb = arb.RoundRobin
+			return c
+		})
+}
+
+// Fig11 regenerates Fig. 11: tree vs skip-list vs MetaCube across the
+// NVM ratios, round-robin arbitration, normalized to the 100% chain.
+func (r *Runner) Fig11() (*Table, error) {
+	var cfgs []MNConfig
+	for _, rt := range ratios {
+		for _, topo := range []topology.Kind{topology.Tree, topology.SkipList, topology.MetaCube} {
+			cfgs = append(cfgs, MNConfig{
+				Topo: topo, DRAMFraction: rt.frac,
+				Placement: rt.place, Arb: arb.RoundRobin,
+			})
+		}
+	}
+	return r.speedupTable("fig11",
+		"Fig. 11: skip-list and MetaCube vs tree (round-robin arbitration), vs 100% chain",
+		cfgs, func(MNConfig) MNConfig { return baselineChain })
+}
+
+// Fig12 regenerates Fig. 12: all techniques combined — the augmented
+// distance-based arbitration applied to tree, skip-list, and MetaCube —
+// normalized to the 100% chain with round-robin.
+func (r *Runner) Fig12() (*Table, error) {
+	var cfgs []MNConfig
+	for _, rt := range ratios {
+		for _, topo := range []topology.Kind{topology.Tree, topology.SkipList, topology.MetaCube} {
+			cfgs = append(cfgs, MNConfig{
+				Topo: topo, DRAMFraction: rt.frac,
+				Placement: rt.place, Arb: arb.DistanceAugmented,
+			})
+		}
+	}
+	return r.speedupTable("fig12",
+		"Fig. 12: all techniques combined (augmented distance arbitration), vs 100% chain",
+		cfgs, func(MNConfig) MNConfig { return baselineChain })
+}
+
+// Fig13 regenerates Fig. 13: the performance change when the host drops
+// from eight memory ports to four at fixed 2TB capacity (each port then
+// serves twice the cubes and twice the traffic).
+func (r *Runner) Fig13() (*Table, error) {
+	suite := r.Opts.suite()
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Fig. 13: speedup of a 4-port system over the 8-port baseline (2TB)",
+		Columns: workloadColumns(suite),
+		Unit:    "% speedup (negative = degradation)",
+	}
+	var cfgs []MNConfig
+	for _, rt := range ratios {
+		for _, topo := range []topology.Kind{topology.Tree, topology.SkipList, topology.MetaCube} {
+			cfgs = append(cfgs, MNConfig{
+				Topo: topo, DRAMFraction: rt.frac,
+				Placement: rt.place, Arb: arb.RoundRobin,
+			})
+		}
+	}
+	base := NewRunner(r.Opts)
+	base.Sys = r.Sys
+	if err := base.Warm(cfgs, suite); err != nil {
+		return nil, err
+	}
+	// Halving the port count doubles each remaining port's share of the
+	// system's (fixed) total work: the 4-port runs process twice the
+	// per-port trace, so the finish-time ratio is the system-throughput
+	// ratio.
+	fourOpts := r.Opts
+	fourOpts.Transactions *= 2
+	four := NewRunner(fourOpts)
+	four.Sys = r.Sys
+	four.Sys.Ports = 4
+	if err := four.Warm(cfgs, suite); err != nil {
+		return nil, err
+	}
+	for _, cfg := range cfgs {
+		vals := make([]float64, 0, len(suite)+1)
+		for _, wl := range suite {
+			r8, err := base.Run(cfg, wl)
+			if err != nil {
+				return nil, err
+			}
+			r4, err := four.Run(cfg, wl)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, (float64(r8.FinishTime)/float64(r4.FinishTime)-1)*100)
+		}
+		vals = append(vals, mean(vals))
+		t.Rows = append(t.Rows, Row{Label: cfg.Label(), Values: vals})
+	}
+	return t, nil
+}
+
+// Fig14 regenerates Fig. 14: average speedup when system capacity drops
+// from 2TB to 1TB with the cube count held constant (half-capacity,
+// half-bank cubes), per configuration, averaged over the suite.
+func (r *Runner) Fig14() (*Table, error) {
+	suite := r.Opts.suite()
+	t := &Table{
+		ID:      "fig14",
+		Title:   "Fig. 14: average speedup moving from 2TB to 1TB (same cube count)",
+		Columns: []string{"average"},
+		Unit:    "% speedup",
+	}
+	big := NewRunner(r.Opts)
+	big.Sys = r.Sys
+	small := NewRunner(r.Opts)
+	small.Sys = r.Sys
+	small.Sys.TotalCapacity /= 2
+	small.Sys.DRAMCubeCapacity /= 2
+	small.Sys.NVMCubeCapacity /= 2
+	small.Sys.BanksPerCube /= 2
+
+	var capCfgs []MNConfig
+	for _, rt := range ratios {
+		for _, topo := range topology.Kinds {
+			capCfgs = append(capCfgs, MNConfig{
+				Topo: topo, DRAMFraction: rt.frac,
+				Placement: rt.place, Arb: arb.RoundRobin,
+			})
+		}
+	}
+	if err := big.Warm(capCfgs, suite); err != nil {
+		return nil, err
+	}
+	if err := small.Warm(capCfgs, suite); err != nil {
+		return nil, err
+	}
+
+	for _, rt := range ratios {
+		for _, topo := range topology.Kinds {
+			cfg := MNConfig{
+				Topo: topo, DRAMFraction: rt.frac,
+				Placement: rt.place, Arb: arb.RoundRobin,
+			}
+			var sum float64
+			for _, wl := range suite {
+				r2, err := big.Run(cfg, wl)
+				if err != nil {
+					return nil, err
+				}
+				r1, err := small.Run(cfg, wl)
+				if err != nil {
+					return nil, err
+				}
+				sum += float64(r2.FinishTime)/float64(r1.FinishTime) - 1
+			}
+			t.Rows = append(t.Rows, Row{
+				Label:  cfg.Label(),
+				Values: []float64{sum / float64(len(suite)) * 100},
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig15 regenerates Fig. 15: the all-workload-average energy breakdown
+// (network transport vs memory read vs memory write) for each
+// configuration, normalized to the 100% chain's total energy.
+func (r *Runner) Fig15() (*Table, error) {
+	suite := r.Opts.suite()
+	t := &Table{
+		ID:      "fig15",
+		Title:   "Fig. 15: energy breakdown relative to the 100%-C network",
+		Columns: []string{"network", "read", "write", "total"},
+		Unit:    "fraction of 100%-C total energy",
+	}
+	var energyCfgs []MNConfig
+	for _, rt := range ratios {
+		for _, topo := range topology.Kinds {
+			energyCfgs = append(energyCfgs, MNConfig{
+				Topo: topo, DRAMFraction: rt.frac,
+				Placement: rt.place, Arb: arb.RoundRobin,
+			})
+		}
+	}
+	if err := r.Warm(append(energyCfgs, baselineChain), suite); err != nil {
+		return nil, err
+	}
+	// Baseline: average total energy of 100% chain across the suite.
+	var baseTotal float64
+	for _, wl := range suite {
+		res, err := r.Run(baselineChain, wl)
+		if err != nil {
+			return nil, err
+		}
+		baseTotal += res.Energy.TotalPJ()
+	}
+	baseTotal /= float64(len(suite))
+
+	for _, rt := range ratios {
+		for _, topo := range topology.Kinds {
+			cfg := MNConfig{
+				Topo: topo, DRAMFraction: rt.frac,
+				Placement: rt.place, Arb: arb.RoundRobin,
+			}
+			var net, rd, wr float64
+			for _, wl := range suite {
+				res, err := r.Run(cfg, wl)
+				if err != nil {
+					return nil, err
+				}
+				net += res.Energy.NetworkPJ
+				rd += res.Energy.ReadPJ
+				wr += res.Energy.WritePJ
+			}
+			n := float64(len(suite))
+			net, rd, wr = net/n, rd/n, wr/n
+			t.Rows = append(t.Rows, Row{
+				Label:  cfg.Label(),
+				Values: []float64{net / baseTotal, rd / baseTotal, wr / baseTotal, (net + rd + wr) / baseTotal},
+			})
+		}
+	}
+	return t, nil
+}
+
+// ExtMesh is an extension experiment (not in the paper): the 2D mesh
+// the paper rules out a priori, compared against the evaluated
+// topologies on the all-DRAM system, normalized to the chain. The paper
+// argues the mesh's average hop count exceeds the tree's no matter
+// which cube attaches to the host (§3); this measures the consequence.
+func (r *Runner) ExtMesh() (*Table, error) {
+	var cfgs []MNConfig
+	for _, topo := range []topology.Kind{topology.Ring, topology.Mesh,
+		topology.Tree, topology.SkipList, topology.MetaCube} {
+		cfgs = append(cfgs, MNConfig{Topo: topo, DRAMFraction: 1, Arb: arb.RoundRobin})
+	}
+	return r.speedupTable("mesh",
+		"Extension: 2D mesh vs the paper's topologies (all-DRAM), vs 100% chain",
+		cfgs, func(MNConfig) MNConfig { return baselineChain })
+}

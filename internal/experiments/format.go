@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Text renders the table as an aligned fixed-width grid suitable for a
+// terminal, in the spirit of the paper's bar charts read as numbers.
+func (t *Table) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	if t.Unit != "" {
+		fmt.Fprintf(&b, "(values in %s)\n", t.Unit)
+	}
+	labelW := len("configuration")
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	colW := 10
+	for _, c := range t.Columns {
+		if len(c)+1 > colW {
+			colW = len(c) + 1
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", labelW+2, "configuration")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", colW, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", labelW+2, r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%*.2f", colW, v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("configuration")
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, ",%.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Chart renders each row as a labeled ASCII bar against the table's
+// value range — the terminal rendition of the paper's bar figures. For
+// multi-column tables the trailing column (usually "average") is
+// plotted; single-column tables plot that column.
+func (t *Table) Chart() string {
+	col := len(t.Columns) - 1
+	if col < 0 {
+		return t.Title + "\n(empty)\n"
+	}
+	var lo, hi float64
+	vals := make([]float64, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		if col >= len(r.Values) {
+			continue
+		}
+		v := r.Values[col]
+		vals = append(vals, v)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	const width = 40
+	scale := float64(width) / (hi - lo)
+	zero := int((0 - lo) * scale)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%s column]\n", t.Title, t.Columns[col])
+	labelW := 0
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	for _, r := range t.Rows {
+		if col >= len(r.Values) {
+			continue
+		}
+		v := r.Values[col]
+		pos := int((v - lo) * scale)
+		line := make([]byte, width+1)
+		for j := range line {
+			line[j] = ' '
+		}
+		if pos > zero {
+			for j := zero + 1; j <= pos && j <= width; j++ {
+				line[j] = '#'
+			}
+		} else if pos < zero {
+			for j := pos; j < zero; j++ {
+				if j >= 0 {
+					line[j] = '#'
+				}
+			}
+		}
+		if zero >= 0 && zero <= width {
+			line[zero] = '|'
+		}
+		fmt.Fprintf(&b, "%-*s %s %8.2f\n", labelW+1, r.Label, string(line), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memnet/internal/config"
+	"memnet/internal/ddr"
+)
+
+// Table1 regenerates Table 1: maximum DDR3/DDR4 interface speed by
+// DIMMs per channel, straight from the ddr bus model.
+func Table1() (*Table, error) {
+	t := &Table{
+		ID:      "table1",
+		Title:   "Table 1: maximum memory interface speed by DIMMs per channel",
+		Columns: []string{"1 DPC", "2 DPC", "3 DPC"},
+		Unit:    "MT/s",
+	}
+	for _, g := range []ddr.Generation{ddr.DDR3, ddr.DDR4} {
+		var vals []float64
+		for dpc := 1; dpc <= 3; dpc++ {
+			mhz, err := ddr.MaxSpeedMHz(g, dpc)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, float64(mhz))
+		}
+		t.Rows = append(t.Rows, Row{Label: g.String(), Values: vals})
+	}
+	return t, nil
+}
+
+// Table2Text renders the evaluated system parameters (Table 2) from the
+// live configuration so that the printed table can never drift from the
+// simulated one.
+func Table2Text() string {
+	sys := config.Default()
+	nd, nn, _ := sys.CubesPerPort()
+	lines := []struct{ k, v string }{
+		{"Memory Ports", fmt.Sprintf("%d", sys.Ports)},
+		{"Total Memory", fmtBytes(sys.TotalCapacity)},
+		{"Stack Capacity", fmt.Sprintf("%s (DRAM), %s (NVM)",
+			fmtBytes(sys.DRAMCubeCapacity), fmtBytes(sys.NVMCubeCapacity))},
+		{"Banks / Stack", fmt.Sprintf("%d", sys.BanksPerCube)},
+		{"Cubes / Port (100% DRAM)", fmt.Sprintf("%d DRAM + %d NVM", nd, nn)},
+		{"DRAM Timings", fmt.Sprintf("tRCD=%v tCL=%v tRP=%v tRAS=%v",
+			sys.DRAMTiming.TRCD, sys.DRAMTiming.TCL, sys.DRAMTiming.TRP, sys.DRAMTiming.TRAS)},
+		{"NVM Timings", fmt.Sprintf("tRCD=%v tCL=%v tWR=%v",
+			sys.NVMTiming.TRCD, sys.NVMTiming.TCL, sys.NVMTiming.TWR)},
+		{"Link", fmt.Sprintf("%d lanes x %.0f Gbps (+%v SerDes/hop)",
+			sys.LinkLanes, float64(sys.LaneRateBps)/1e9, sys.SerDesLatency)},
+		{"DRAM Read/Write Energy", fmt.Sprintf("%.0f pJ/bit", sys.Energy.DRAMReadPJPerBit)},
+		{"NVM Read/Write Energy", fmt.Sprintf("%.0f / %.0f pJ/bit",
+			sys.Energy.NVMReadPJPerBit, sys.Energy.NVMWritePJPerBit)},
+		{"Network Energy", fmt.Sprintf("%.0f pJ/bit/hop", sys.Energy.NetworkPJPerBitHop)},
+		{"Address Interleave", fmt.Sprintf("%d B across %d ports", sys.InterleaveBytes, sys.Ports)},
+		{"Outstanding Window", fmt.Sprintf("%d transactions/port", sys.MaxOutstanding)},
+	}
+	out := "Table 2: evaluated system parameters\n"
+	for _, l := range lines {
+		out += fmt.Sprintf("  %-26s %s\n", l.k, l.v)
+	}
+	return out
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<40 && b%(1<<40) == 0:
+		return fmt.Sprintf("%dTB", b>>40)
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", b>>30)
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", b>>20)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,234 @@
+// Package link models the point-to-point SerDes channels that connect
+// memory cubes to each other and to the host, including the behaviors the
+// paper identifies as first-order: finite serialization bandwidth (16
+// lanes x 15 Gbps per direction), a fixed 2 ns SerDes latency per
+// traversal, credit-based flow control against finite receiver buffers,
+// and two virtual channels with responses strictly prioritized over
+// requests (the deadlock-avoidance rule that backs requests up behind
+// responses, Section 3.2).
+//
+// A physical link is a pair of independent Directions. The same Direction
+// type also models cube-internal connections (router <-> vault quadrant,
+// interposer traces inside a MetaCube) with different constants.
+package link
+
+import (
+	"fmt"
+
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+)
+
+// Meter receives a callback per completed hop for energy accounting.
+type Meter interface {
+	Hop(bits int)
+}
+
+// nopMeter is used when no energy accounting is attached.
+type nopMeter struct{}
+
+func (nopMeter) Hop(int) {}
+
+// Config are the constants of one direction.
+type Config struct {
+	// BandwidthBps is the serialization bandwidth in bits per second.
+	BandwidthBps int64
+	// SerDesLatency is added once per traversal after serialization.
+	SerDesLatency sim.Time
+	// QueueDepth bounds the per-VC output queue on the sending side.
+	QueueDepth int
+	// Credits is the per-VC receiver buffer depth this direction may
+	// consume; transmission of a packet requires (and consumes) one.
+	Credits int
+	// NoVCPriority disables the default response-over-request
+	// prioritization, falling back to round-robin between VCs. Used by
+	// ablation experiments.
+	NoVCPriority bool
+	// CountHop controls whether traversals are charged network energy
+	// and counted in Packet.Hops. True for package-to-package links,
+	// false for cube-internal router<->vault connections.
+	CountHop bool
+}
+
+// Stats aggregates per-direction counters.
+type Stats struct {
+	Sent        [packet.NumVCs]uint64
+	BitsSent    uint64
+	QueueWait   sim.Time // total time packets spent in the output queue
+	BusyTime    sim.Time // wire occupancy
+	CreditStall uint64   // transmissions deferred for lack of credit
+}
+
+// Direction is one half of a full-duplex link: a bounded per-VC output
+// queue, a serially-reusable wire, and a credit counter for the remote
+// input buffer.
+type Direction struct {
+	eng   *sim.Engine
+	cfg   Config
+	meter Meter
+
+	wire    sim.Resource
+	queue   [packet.NumVCs][]entry
+	credits [packet.NumVCs]int
+
+	// deliver is invoked at the receiver when a packet lands (after
+	// serialization + SerDes latency). Wired by the owning node.
+	deliver func(*packet.Packet)
+	// onSpace, if set, is invoked whenever a slot frees in the output
+	// queue of the given VC, letting the upstream router resume moving
+	// packets out of its input buffers.
+	onSpace func(packet.VC)
+
+	pumpScheduled bool
+	lastVC        packet.VC // round-robin state when NoVCPriority
+
+	stats Stats
+}
+
+type entry struct {
+	p        *packet.Packet
+	enqueued sim.Time
+}
+
+// New returns a Direction. deliver must be non-nil before the first Send.
+func New(eng *sim.Engine, cfg Config, meter Meter) *Direction {
+	if cfg.QueueDepth <= 0 || cfg.Credits <= 0 {
+		panic(fmt.Sprintf("link: non-positive queue depth %d or credits %d",
+			cfg.QueueDepth, cfg.Credits))
+	}
+	if meter == nil {
+		meter = nopMeter{}
+	}
+	d := &Direction{eng: eng, cfg: cfg, meter: meter}
+	for vc := range d.credits {
+		d.credits[vc] = cfg.Credits
+	}
+	return d
+}
+
+// SetDeliver wires the receiver callback.
+func (d *Direction) SetDeliver(fn func(*packet.Packet)) { d.deliver = fn }
+
+// SetOnSpace wires the output-queue-space callback.
+func (d *Direction) SetOnSpace(fn func(packet.VC)) { d.onSpace = fn }
+
+// Stats returns a copy of the direction's counters.
+func (d *Direction) Stats() Stats { return d.stats }
+
+// CanAccept reports whether the output queue of vc has room.
+func (d *Direction) CanAccept(vc packet.VC) bool {
+	return len(d.queue[vc]) < d.cfg.QueueDepth
+}
+
+// QueueLen reports the occupancy of the vc output queue.
+func (d *Direction) QueueLen(vc packet.VC) int { return len(d.queue[vc]) }
+
+// Send enqueues p for transmission. The caller must have checked
+// CanAccept; Send panics on overflow to surface flow-control bugs.
+func (d *Direction) Send(p *packet.Packet) {
+	vc := packet.VCOf(p.Kind)
+	if !d.CanAccept(vc) {
+		panic(fmt.Sprintf("link: output queue overflow on %v for %v", vc, p))
+	}
+	d.queue[vc] = append(d.queue[vc], entry{p: p, enqueued: d.eng.Now()})
+	d.pump()
+}
+
+// ReturnCredit is called by the receiving node when it frees one input
+// buffer slot of the given VC.
+func (d *Direction) ReturnCredit(vc packet.VC) {
+	d.credits[vc]++
+	if d.credits[vc] > d.cfg.Credits {
+		panic("link: credit overflow")
+	}
+	d.pump()
+}
+
+// pump attempts to start a transmission now, or schedules a retry when
+// the wire frees. It is idempotent per simulated instant.
+func (d *Direction) pump() {
+	if d.pumpScheduled {
+		return
+	}
+	now := d.eng.Now()
+	if !d.wire.Idle(now) {
+		d.pumpScheduled = true
+		d.eng.At(d.wire.FreeAt(), func() {
+			d.pumpScheduled = false
+			d.pump()
+		})
+		return
+	}
+	vc, ok := d.pickVC()
+	if !ok {
+		return
+	}
+	d.transmit(vc)
+	// Another VC may still have eligible traffic; pump re-runs when the
+	// wire frees via the scheduling above on the next call.
+	d.pump()
+}
+
+// pickVC chooses the next virtual channel to serve: responses first by
+// default (the deadlock-avoidance priority), else round-robin.
+func (d *Direction) pickVC() (packet.VC, bool) {
+	eligible := func(vc packet.VC) bool {
+		if len(d.queue[vc]) == 0 {
+			return false
+		}
+		if d.credits[vc] == 0 {
+			d.stats.CreditStall++
+			return false
+		}
+		return true
+	}
+	if !d.cfg.NoVCPriority {
+		if eligible(packet.VCResponse) {
+			return packet.VCResponse, true
+		}
+		if eligible(packet.VCRequest) {
+			return packet.VCRequest, true
+		}
+		return 0, false
+	}
+	for i := packet.VC(0); i < packet.NumVCs; i++ {
+		vc := (d.lastVC + 1 + i) % packet.NumVCs
+		if eligible(vc) {
+			d.lastVC = vc
+			return vc, true
+		}
+	}
+	return 0, false
+}
+
+// transmit pops the head of vc and occupies the wire for its
+// serialization time; delivery fires after the additional SerDes latency.
+func (d *Direction) transmit(vc packet.VC) {
+	e := d.queue[vc][0]
+	copy(d.queue[vc], d.queue[vc][1:])
+	d.queue[vc] = d.queue[vc][:len(d.queue[vc])-1]
+	d.credits[vc]--
+
+	now := d.eng.Now()
+	d.stats.QueueWait += now - e.enqueued
+	bits := e.p.Kind.Bits()
+	ser := sim.BitTime(bits, d.cfg.BandwidthBps)
+	_, end := d.wire.Reserve(now, ser)
+	d.stats.BusyTime += end - now
+	d.stats.Sent[vc]++
+	d.stats.BitsSent += uint64(bits)
+
+	p := e.p
+	arrive := end + d.cfg.SerDesLatency
+	d.eng.At(arrive, func() {
+		if d.cfg.CountHop {
+			p.Hops++
+			d.meter.Hop(bits)
+		}
+		d.deliver(p)
+	})
+
+	if d.onSpace != nil {
+		d.onSpace(vc)
+	}
+}

@@ -1,0 +1,289 @@
+// Package migrate implements the heterogeneous-memory management layer
+// the paper's mixed DRAM:NVM networks presuppose (§2.4: "we rely on the
+// existence of appropriate heterogeneous management mechanisms", citing
+// hot/cold data placement work). It is an epoch-based hot-block
+// migrator: interleave-granularity blocks that are accessed frequently
+// while resident on NVM are swapped with cold DRAM-resident blocks
+// through an indirection table, paying a copy cost (energy plus a
+// temporary blackout on the swapped blocks).
+//
+// The manager is deliberately address-mapping-agnostic: it observes the
+// request stream, and the system consults Translate before resolving an
+// address to a cube, so it composes with any topology and ratio.
+package migrate
+
+import (
+	"fmt"
+	"sort"
+
+	"memnet/internal/config"
+	"memnet/internal/energy"
+	"memnet/internal/sim"
+)
+
+// Config tunes the migration policy.
+type Config struct {
+	// Epoch is the observation window between migration decisions.
+	Epoch sim.Time
+	// HotThreshold is the per-epoch access count that makes an
+	// NVM-resident block a migration candidate.
+	HotThreshold int
+	// MaxSwapsPerEpoch bounds migration bandwidth.
+	MaxSwapsPerEpoch int
+	// BlockBytes is the migration granularity (the interleave unit).
+	BlockBytes uint64
+	// Blackout is how long a swapped pair is inaccessible while the
+	// copies drain.
+	Blackout sim.Time
+	// SettleEpochs keeps a freshly swapped block out of further
+	// migration decisions for this many epochs, damping ping-pong
+	// thrash between the technologies.
+	SettleEpochs uint64
+}
+
+// DefaultConfig returns a reasonable policy for the evaluated system.
+func DefaultConfig() Config {
+	return Config{
+		Epoch:            5 * sim.Microsecond,
+		HotThreshold:     4,
+		MaxSwapsPerEpoch: 64,
+		BlockBytes:       256,
+		Blackout:         200 * sim.Nanosecond,
+		SettleEpochs:     4,
+	}
+}
+
+// Stats reports migration activity.
+type Stats struct {
+	Epochs   uint64
+	Swaps    uint64
+	Observed uint64
+	// HotNVM counts epoch-end candidates seen (swapped or not).
+	HotNVM uint64
+}
+
+// Manager is the migration engine for one memory port.
+type Manager struct {
+	eng    *sim.Engine
+	cfg    Config
+	techOf func(addr uint64) config.MemTech // resolves a *translated* address
+	meter  *energy.Meter
+
+	remap    map[uint64]uint64 // block -> block, maintained as an involution
+	counts   map[uint64]int
+	lastSwap map[uint64]uint64 // block -> epoch of its last migration
+	// coldDRAM is a bounded reservoir of recently-seen, currently-cold,
+	// DRAM-resident blocks used as swap victims.
+	coldDRAM []uint64
+	blackout map[uint64]sim.Time
+
+	stats Stats
+}
+
+// New creates a manager and arms its epoch timer. techOf must resolve a
+// translated (physical) block address to the backing technology; meter
+// may be nil.
+func New(eng *sim.Engine, cfg Config, techOf func(uint64) config.MemTech, meter *energy.Meter) *Manager {
+	if cfg.BlockBytes == 0 {
+		cfg.BlockBytes = 256
+	}
+	m := &Manager{
+		eng:      eng,
+		cfg:      cfg,
+		techOf:   techOf,
+		meter:    meter,
+		remap:    make(map[uint64]uint64),
+		counts:   make(map[uint64]int),
+		lastSwap: make(map[uint64]uint64),
+		blackout: make(map[uint64]sim.Time),
+	}
+	if cfg.Epoch > 0 {
+		eng.Schedule(cfg.Epoch, m.epoch)
+	}
+	return m
+}
+
+// Stats returns a copy of the activity counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// block returns a's block base address.
+func (m *Manager) block(a uint64) uint64 { return a - a%m.cfg.BlockBytes }
+
+// Translate applies the indirection table: the returned address is where
+// the data currently lives.
+func (m *Manager) Translate(a uint64) uint64 {
+	blk := m.block(a)
+	if to, ok := m.remap[blk]; ok {
+		return to + (a - blk)
+	}
+	return a
+}
+
+// ReadyAt reports when the block holding a becomes accessible (it may be
+// mid-migration); zero means immediately.
+func (m *Manager) ReadyAt(a uint64) sim.Time {
+	if t, ok := m.blackout[m.block(a)]; ok {
+		if t > m.eng.Now() {
+			return t
+		}
+		delete(m.blackout, m.block(a))
+	}
+	return 0
+}
+
+// Observe records one access for the epoch statistics and harvests cold
+// DRAM victims.
+func (m *Manager) Observe(a uint64) {
+	m.stats.Observed++
+	blk := m.block(a)
+	m.counts[blk]++
+	// Sample possible victims cheaply: blocks currently resolving to
+	// DRAM with a low count. The reservoir is refreshed each epoch.
+	if m.counts[blk] == 1 && len(m.coldDRAM) < 4*m.cfg.MaxSwapsPerEpoch {
+		if m.techOf(m.Translate(blk)) == config.DRAM {
+			m.coldDRAM = append(m.coldDRAM, blk)
+		}
+	}
+}
+
+// epoch runs the migration decision and re-arms the timer.
+func (m *Manager) epoch() {
+	m.stats.Epochs++
+	now := m.eng.Now()
+
+	// Collect hot blocks currently resident on NVM.
+	type hot struct {
+		blk   uint64
+		count int
+	}
+	var hots []hot
+	for blk, c := range m.counts {
+		if c < m.cfg.HotThreshold {
+			continue
+		}
+		if !m.settled(blk) {
+			continue
+		}
+		if m.techOf(m.Translate(blk)) != config.NVM {
+			continue
+		}
+		hots = append(hots, hot{blk, c})
+	}
+	m.stats.HotNVM += uint64(len(hots))
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].count != hots[j].count {
+			return hots[i].count > hots[j].count
+		}
+		return hots[i].blk < hots[j].blk
+	})
+
+	swaps := 0
+	vi := 0
+	for _, h := range hots {
+		if swaps >= m.cfg.MaxSwapsPerEpoch {
+			break
+		}
+		// Find a victim that is still cold and still on DRAM.
+		var victim uint64
+		found := false
+		for vi < len(m.coldDRAM) {
+			v := m.coldDRAM[vi]
+			vi++
+			if m.counts[v] > 1 {
+				continue // any reuse disqualifies a victim
+			}
+			if !m.settled(v) {
+				continue
+			}
+			if m.techOf(m.Translate(v)) != config.DRAM {
+				continue
+			}
+			victim, found = v, true
+			break
+		}
+		if !found {
+			break
+		}
+		m.swap(h.blk, victim, now)
+		swaps++
+	}
+
+	// Reset epoch state.
+	m.counts = make(map[uint64]int)
+	m.coldDRAM = m.coldDRAM[:0]
+	m.eng.Schedule(m.cfg.Epoch, m.epoch)
+}
+
+// swap exchanges the physical homes of blocks a and b (logical
+// addresses), charging copy energy and arming the blackout window.
+func (m *Manager) swap(a, b uint64, now sim.Time) {
+	pa, pb := m.Translate(a), m.Translate(b)
+	m.setMap(a, pb)
+	m.setMap(b, pa)
+	m.stats.Swaps++
+	m.lastSwap[a] = m.stats.Epochs
+	m.lastSwap[b] = m.stats.Epochs
+	until := now + m.cfg.Blackout
+	m.blackout[a] = until
+	m.blackout[b] = until
+	if m.meter != nil {
+		bits := int(m.cfg.BlockBytes) * 8
+		// Copy both directions: read each source, write each destination.
+		m.meter.Access(config.NVM, false, bits)
+		m.meter.Access(config.DRAM, true, bits)
+		m.meter.Access(config.DRAM, false, bits)
+		m.meter.Access(config.NVM, true, bits)
+	}
+}
+
+// settled reports whether a block's last migration is old enough for it
+// to participate in new decisions.
+func (m *Manager) settled(blk uint64) bool {
+	last, ok := m.lastSwap[blk]
+	if !ok {
+		return true
+	}
+	return m.stats.Epochs-last > m.cfg.SettleEpochs
+}
+
+// setMap installs logical->physical, pruning identity entries so the
+// table only holds displaced blocks.
+func (m *Manager) setMap(logical, physical uint64) {
+	if logical == physical {
+		delete(m.remap, logical)
+		return
+	}
+	m.remap[logical] = physical
+}
+
+// RemapSize reports the indirection table occupancy (for tests and
+// reporting).
+func (m *Manager) RemapSize() int { return len(m.remap) }
+
+// Validate checks the indirection table's correctness invariant: it
+// must be injective (no two logical blocks resolving to the same
+// physical home — that would alias data), and every displaced physical
+// home must itself be owned by some logical block (no leaks). Swap
+// chains keep the table a permutation even when it stops being a simple
+// involution.
+func (m *Manager) Validate() error {
+	phys := make(map[uint64]uint64, len(m.remap))
+	displaced := make(map[uint64]bool, len(m.remap))
+	for logical, p := range m.remap {
+		if prev, dup := phys[p]; dup {
+			return fmt.Errorf("migrate: blocks %#x and %#x alias physical %#x",
+				prev, logical, p)
+		}
+		phys[p] = logical
+		displaced[logical] = true
+	}
+	for logical := range m.remap {
+		// The physical frame named "logical" was vacated; someone must
+		// occupy it (possibly transitively), i.e. it appears as a target
+		// or its own entry exists.
+		if _, ok := phys[logical]; !ok {
+			return fmt.Errorf("migrate: physical frame %#x leaked", logical)
+		}
+	}
+	return nil
+}

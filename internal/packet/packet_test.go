@@ -1,0 +1,103 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindClassification(t *testing.T) {
+	cases := []struct {
+		k                            Kind
+		req, resp, read, write, data bool
+	}{
+		{ReadReq, true, false, true, false, false},
+		{ReadResp, false, true, true, false, true},
+		{WriteReq, true, false, false, true, true},
+		{WriteAck, false, true, false, true, false},
+	}
+	for _, c := range cases {
+		if c.k.IsRequest() != c.req || c.k.IsResponse() != c.resp ||
+			c.k.IsRead() != c.read || c.k.IsWrite() != c.write ||
+			c.k.CarriesData() != c.data {
+			t.Errorf("%v classification wrong", c.k)
+		}
+	}
+}
+
+func TestKindBits(t *testing.T) {
+	if ReadReq.Bits() != ControlBits || WriteAck.Bits() != ControlBits {
+		t.Fatal("control packets wrong size")
+	}
+	if ReadResp.Bits() != DataBits || WriteReq.Bits() != DataBits {
+		t.Fatal("data packets wrong size")
+	}
+	// The paper's 5x ratio.
+	if DataBits != 5*ControlBits {
+		t.Fatalf("data:control = %d:%d, want 5:1", DataBits, ControlBits)
+	}
+}
+
+func TestVCOf(t *testing.T) {
+	if VCOf(ReadReq) != VCRequest || VCOf(WriteReq) != VCRequest {
+		t.Fatal("requests on wrong VC")
+	}
+	if VCOf(ReadResp) != VCResponse || VCOf(WriteAck) != VCResponse {
+		t.Fatal("responses on wrong VC")
+	}
+}
+
+func TestResponseKind(t *testing.T) {
+	if ResponseKind(ReadReq) != ReadResp || ResponseKind(WriteReq) != WriteAck {
+		t.Fatal("wrong response kinds")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ResponseKind of a response must panic")
+		}
+	}()
+	ResponseKind(ReadResp)
+}
+
+func TestMakeResponse(t *testing.T) {
+	p := &Packet{
+		ID: 7, Kind: WriteReq, Src: HostNode, Dst: 5,
+		Addr: 0x1234, Distance: 4, Hops: 4, Class: 1,
+	}
+	p.MakeResponse(6)
+	if p.Kind != WriteAck {
+		t.Fatalf("kind = %v", p.Kind)
+	}
+	if p.Src != 5 || p.Dst != HostNode {
+		t.Fatalf("src/dst not swapped: %v -> %v", p.Src, p.Dst)
+	}
+	if p.Hops != 0 {
+		t.Fatal("hops not reset")
+	}
+	if p.Distance != 6 {
+		t.Fatalf("distance = %d, want 6", p.Distance)
+	}
+	if p.Class != 0 {
+		t.Fatal("response class must be PathShort (0)")
+	}
+	if p.Addr != 0x1234 || p.ID != 7 {
+		t.Fatal("identity fields must survive")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, k := range []Kind{ReadReq, ReadResp, WriteReq, WriteAck} {
+		if strings.Contains(k.String(), "Kind(") {
+			t.Errorf("missing name for %d", k)
+		}
+	}
+	if !strings.Contains(Kind(9).String(), "Kind(9)") {
+		t.Error("unknown kind should fall back")
+	}
+	p := &Packet{ID: 3, Kind: ReadReq, Src: 0, Dst: 4, Addr: 0x40, Distance: 2}
+	s := p.String()
+	for _, want := range []string{"ReadReq", "#3", "0->4", "dist=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package router implements the switch on a memory cube's logic die (and
+// on a MetaCube's interface chip): input-buffered ports, per-output
+// arbitration over the input queues, and table-driven routing.
+//
+// The arbitration point here is exactly where the paper's fairness
+// analysis applies: each output port independently selects among the
+// input queues holding a head packet bound for it. With the baseline
+// locally-fair round-robin, a cube whose four local vault queues compete
+// against a single upstream queue services local traffic 80% of the time
+// — the "parking lot problem" (§3.2) — which the distance-based policy
+// (§4.1) corrects.
+package router
+
+import (
+	"fmt"
+
+	"memnet/internal/arb"
+	"memnet/internal/link"
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+)
+
+// RouteFunc returns the output-port index a packet should leave through
+// at this router. It encapsulates the topology's next-hop tables, the
+// read/write path differentiation of the skip list, and local-quadrant
+// delivery for packets that have reached their destination cube.
+type RouteFunc func(p *packet.Packet) int
+
+// Router is an input-buffered switch with N ports. Port i consists of an
+// input buffer (filled by the neighbor's link direction toward us) and
+// an output direction (toward the same neighbor). "Neighbors" include
+// the cube's own vault quadrants, which occupy the highest port indices.
+//
+// The router models the cube's centralized switch (§5: "each memory
+// package contains a centralized switch") with finite internal
+// bandwidth: every packet movement from an input buffer to an output
+// queue occupies the crossbar for its serialization time at the switch
+// rate. On heavily-transited cubes (every cube of a chain, the root of
+// any topology) the crossbar is the contention point where response
+// priority delays requests and where the arbitration policy decides who
+// ages in the input queues.
+type Router struct {
+	eng    *sim.Engine
+	node   packet.NodeID
+	route  RouteFunc
+	policy arb.Policy
+
+	in  []*link.Buffer
+	out []*link.Direction
+
+	crossbar   sim.Resource
+	switchBps  int64
+	retryArmed bool
+	sweepStart int
+
+	sweepPending bool
+	// Forwarded counts packets moved input->output, per VC.
+	Forwarded [packet.NumVCs]uint64
+	// Contended counts arbitration decisions with more than one
+	// candidate input (where the policy actually matters).
+	Contended uint64
+}
+
+// New creates a router shell; ports are attached afterwards with
+// AttachPort. switchBps is the centralized switch's internal bandwidth
+// (0 disables crossbar modeling, giving an ideal switch).
+func New(eng *sim.Engine, node packet.NodeID, policy arb.Policy, switchBps int64) *Router {
+	return &Router{eng: eng, node: node, policy: policy, switchBps: switchBps}
+}
+
+// SetRoute installs the routing function. Must be called before traffic
+// flows.
+func (r *Router) SetRoute(fn RouteFunc) { r.route = fn }
+
+// Node reports the router's node ID.
+func (r *Router) Node() packet.NodeID { return r.node }
+
+// NumPorts reports the attached port count.
+func (r *Router) NumPorts() int { return len(r.in) }
+
+// AttachPort adds a port and returns its index. in receives packets from
+// the neighbor; out sends toward the neighbor. The router registers
+// itself for out's space-available callbacks.
+func (r *Router) AttachPort(in *link.Buffer, out *link.Direction) int {
+	idx := len(r.in)
+	r.in = append(r.in, in)
+	r.out = append(r.out, out)
+	out.SetOnSpace(func(packet.VC) { r.Kick() })
+	return idx
+}
+
+// Deliver is the arrival entry point for port i; wire it as the
+// neighbor direction's deliver callback.
+func (r *Router) Deliver(i int) func(*packet.Packet) {
+	return func(p *packet.Packet) {
+		p.EnterPort = int8(i)
+		r.in[i].Push(p, r.eng.Now())
+		r.Kick()
+	}
+}
+
+// InputBuffer exposes port i's input buffer (for wiring and stats).
+func (r *Router) InputBuffer(i int) *link.Buffer { return r.in[i] }
+
+// Output exposes port i's output direction (for wiring and stats).
+func (r *Router) Output(i int) *link.Direction { return r.out[i] }
+
+// Kick schedules a forwarding sweep at the current instant (idempotent
+// per instant).
+func (r *Router) Kick() {
+	if r.sweepPending {
+		return
+	}
+	r.sweepPending = true
+	r.eng.Schedule(0, func() {
+		r.sweepPending = false
+		r.sweep()
+	})
+}
+
+// sweep moves as many packets as buffers, credits, crossbar bandwidth,
+// and arbitration allow. All outputs' response traffic is considered
+// before any request traffic, matching the deadlock-avoidance priority:
+// under switch contention this is precisely what backs requests up
+// behind responses (§3.2). The output scan order rotates between sweeps
+// so no port is structurally favored within a priority class.
+func (r *Router) sweep() {
+	if r.route == nil {
+		panic(fmt.Sprintf("router %d: no route function", r.node))
+	}
+	n := len(r.out)
+	for _, vc := range []packet.VC{packet.VCResponse, packet.VCRequest} {
+		for k := 0; k < n; k++ {
+			if !r.drain((r.sweepStart+k)%n, vc) {
+				return // crossbar busy; retry armed
+			}
+		}
+	}
+	r.sweepStart++
+}
+
+// drain forwards packets from eligible input heads to output o, vc,
+// until space, candidates, credits, or switch bandwidth run out. It
+// returns false when the crossbar is busy (a retry has been armed).
+func (r *Router) drain(o int, vc packet.VC) bool {
+	var candidates []int
+	for r.out[o].CanAccept(vc) {
+		if r.switchBps > 0 && !r.crossbar.Idle(r.eng.Now()) {
+			r.armRetry()
+			return false
+		}
+		candidates = candidates[:0]
+		for i, buf := range r.in {
+			if i == o {
+				// A packet never leaves through the port it entered;
+				// shortest-path tables guarantee this, and skipping the
+				// self port keeps arbitration honest.
+				continue
+			}
+			head := buf.Head(vc)
+			if head == nil {
+				continue
+			}
+			if r.route(head) == o {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			return true
+		}
+		if len(candidates) > 1 {
+			r.Contended++
+		}
+		pick := r.policy.Pick(o, vc, candidates, func(i int) *packet.Packet {
+			return r.in[i].Head(vc)
+		})
+		p := r.in[pick].Pop(vc, r.eng.Now())
+		r.Forwarded[vc]++
+		if r.switchBps > 0 {
+			r.crossbar.Reserve(r.eng.Now(), sim.BitTime(p.Kind.Bits(), r.switchBps))
+		}
+		r.out[o].Send(p)
+	}
+	return true
+}
+
+// armRetry schedules a sweep for the instant the crossbar frees.
+func (r *Router) armRetry() {
+	if r.retryArmed {
+		return
+	}
+	r.retryArmed = true
+	r.eng.At(r.crossbar.FreeAt(), func() {
+		r.retryArmed = false
+		r.sweep()
+	})
+}
+
+// TotalInputWait sums the input-buffer residency across ports — the
+// per-router queuing metric of the §3.2 analysis.
+func (r *Router) TotalInputWait() sim.Time {
+	var t sim.Time
+	for _, b := range r.in {
+		t += b.TotalWait()
+	}
+	return t
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Handler is a callback invoked when an event fires. The engine's current
+// time equals the event's scheduled time for the duration of the call.
+type Handler func()
+
+// event is a scheduled callback. Events with equal times fire in the
+// order they were scheduled (seq provides the stable tie-break), which
+// makes whole-system simulations deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  Handler
+}
+
+// eventHeap implements container/heap ordered by (time, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+//
+// The zero value is ready to use. An Engine is not safe for concurrent
+// use; memnet simulations are deterministic single-goroutine programs and
+// parallelism, when wanted, is obtained by running independent Engines
+// (e.g. one per memory port, or one per benchmark configuration).
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	inStep bool
+}
+
+// NewEngine returns an engine with its clock at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been executed so far. It is useful
+// for cheap progress accounting and loop-guard assertions in tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule arranges for fn to run after delay. A zero delay schedules the
+// event at the current time; it will still run after the currently
+// executing event returns (events never preempt each other).
+func (e *Engine) Schedule(delay Time, fn Handler) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute time t, which must not be in the
+// past.
+func (e *Engine) At(t Time, fn Handler) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling in the past: %v < now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	e.fired++
+	e.inStep = true
+	ev.fn()
+	e.inStep = false
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with scheduled time <= deadline. The clock is
+// left at the deadline if it was reached, otherwise at the time of the
+// last event. It returns the number of events executed.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	start := e.fired
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.fired - start
+}
+
+// RunWhile executes events while cond() remains true and events remain.
+// cond is evaluated before each event. It returns true if the run stopped
+// because cond became false (as opposed to the queue draining).
+func (e *Engine) RunWhile(cond func() bool) bool {
+	for cond() {
+		if !e.Step() {
+			return false
+		}
+	}
+	return true
+}

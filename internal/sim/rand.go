@@ -1,0 +1,78 @@
+package sim
+
+import "math"
+
+// Rand is a small, fast, deterministic pseudo-random generator
+// (splitmix64-seeded xoshiro256**). memnet uses it instead of math/rand
+// so that simulation results are bit-identical across Go releases, which
+// matters for the regression tests that pin experiment outputs.
+type Rand struct {
+	s [4]uint64
+}
+
+// NewRand returns a generator seeded from the given value. Distinct seeds
+// yield well-separated streams.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	// splitmix64 expansion of the seed into the xoshiro state.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniformly distributed int64 in [0, n).
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Exp returns an exponentially distributed value with the given mean,
+// used for Poisson-like inter-arrival gaps in open-loop traffic phases.
+func (r *Rand) Exp(mean float64) float64 {
+	// Inverse CDF; guard the log argument away from zero.
+	u := r.Float64()
+	if u >= 1 {
+		u = 0.9999999999999999
+	}
+	return -mean * math.Log1p(-u)
+}

@@ -1,0 +1,50 @@
+package sim
+
+// Resource models a unit-capacity serially-reusable resource such as a
+// link direction, a bank data bus, or a SerDes lane group. Callers
+// reserve occupancy intervals; the resource tracks the earliest time a
+// new occupancy may begin.
+//
+// Resource is intentionally minimal: it does not queue callbacks. Higher
+// layers (link arbiters, bank schedulers) decide *what* to send next and
+// use Resource only to answer "when may it start?".
+type Resource struct {
+	freeAt Time
+}
+
+// FreeAt reports the earliest time the resource becomes free.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// Idle reports whether the resource is free at time now.
+func (r *Resource) Idle(now Time) bool { return r.freeAt <= now }
+
+// Reserve occupies the resource for the half-open interval
+// [max(now, freeAt), start+dur) and returns (start, end). A non-positive
+// duration reserves nothing and returns (now', now') where now' is the
+// earliest free time.
+func (r *Resource) Reserve(now, dur Time) (start, end Time) {
+	start = now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	if dur <= 0 {
+		return start, start
+	}
+	end = start + dur
+	r.freeAt = end
+	return start, end
+}
+
+// ReserveAt occupies the resource beginning exactly at t (which must be
+// >= FreeAt) for dur. It is used when the caller has already arbitrated a
+// start time.
+func (r *Resource) ReserveAt(t, dur Time) (end Time) {
+	if t < r.freeAt {
+		panic("sim: ReserveAt before resource is free")
+	}
+	r.freeAt = t + dur
+	return r.freeAt
+}
+
+// Reset makes the resource free immediately.
+func (r *Resource) Reset() { r.freeAt = 0 }

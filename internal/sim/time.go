@@ -1,0 +1,82 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// used by every other subsystem in memnet. Time is modeled as an integer
+// number of picoseconds so that datasheet timing parameters (which are
+// specified in nanoseconds) are exactly representable and simulations are
+// bit-reproducible across runs and platforms.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a simulated instant or duration, in picoseconds.
+//
+// Picosecond resolution lets the engine mix clock domains (e.g. a 15 Gbps
+// SerDes lane has a 66.67 ps unit interval, while DRAM timings are whole
+// nanoseconds) without accumulating rounding error.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Never is a sentinel meaning "not scheduled" / "did not happen".
+const Never Time = -1
+
+// Nanoseconds returns t expressed in (possibly fractional) nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Duration converts t to a standard library time.Duration. Durations
+// below one nanosecond round toward zero.
+func (t Time) Duration() time.Duration { return time.Duration(t / Nanosecond) }
+
+// String formats the time with an adaptive unit, e.g. "12.5ns" or "3.2us".
+func (t Time) String() string {
+	switch {
+	case t == Never:
+		return "never"
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.3gns", t.Nanoseconds())
+	case t < Millisecond:
+		return fmt.Sprintf("%.4gus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.4gms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4gs", float64(t)/float64(Second))
+	}
+}
+
+// FromNanos builds a Time from a floating-point nanosecond quantity,
+// rounding to the nearest picosecond. It is intended for configuration
+// code; hot paths should work in integer Time directly.
+func FromNanos(ns float64) Time {
+	return Time(ns*float64(Nanosecond) + 0.5)
+}
+
+// BitTime returns the time to serialize the given number of bits over a
+// channel of the given aggregate bandwidth in bits per second. The result
+// is rounded up to a whole picosecond so that link occupancy is never
+// underestimated.
+func BitTime(bits int, bitsPerSecond int64) Time {
+	if bits <= 0 {
+		return 0
+	}
+	if bitsPerSecond <= 0 {
+		panic("sim: non-positive bandwidth")
+	}
+	// bits * 1e12 / bps, rounded up.
+	num := int64(bits) * int64(Second)
+	t := num / bitsPerSecond
+	if num%bitsPerSecond != 0 {
+		t++
+	}
+	return Time(t)
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Nanosecond != 1000*Picosecond {
+		t.Fatal("ns != 1000ps")
+	}
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond {
+		t.Fatal("unit ladder broken")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{Never, "never"},
+		{500 * Picosecond, "500ps"},
+		{12500 * Picosecond, "12.5ns"},
+		{3200 * Nanosecond, "3.2us"},
+		{5 * Millisecond, "5ms"},
+		{2 * Second, "2s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	tm := 1500 * Picosecond
+	if tm.Nanoseconds() != 1.5 {
+		t.Fatalf("Nanoseconds = %v", tm.Nanoseconds())
+	}
+	if (3 * Microsecond).Duration() != 3*time.Microsecond {
+		t.Fatal("Duration conversion wrong")
+	}
+	if FromNanos(2.5) != 2500*Picosecond {
+		t.Fatalf("FromNanos(2.5) = %v", FromNanos(2.5))
+	}
+}
+
+func TestBitTime(t *testing.T) {
+	// 640 bits over 240 Gbps = 2666.67ns/1000 -> rounded up to 2667ps.
+	got := BitTime(640, 240e9)
+	if got != 2667*Picosecond {
+		t.Fatalf("BitTime(640, 240G) = %v ps, want 2667", int64(got))
+	}
+	// Exact division: 128 bits at 128 Gbps = exactly 1ns.
+	if BitTime(128, 128e9) != Nanosecond {
+		t.Fatal("exact BitTime wrong")
+	}
+	if BitTime(0, 1e9) != 0 || BitTime(-5, 1e9) != 0 {
+		t.Fatal("non-positive bits should cost nothing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero bandwidth")
+		}
+	}()
+	BitTime(1, 0)
+}
+
+func TestBitTimeNeverUnderestimates(t *testing.T) {
+	for bits := 1; bits < 2000; bits += 7 {
+		for _, bw := range []int64{1e9, 3e9, 240e9, 15e9} {
+			got := BitTime(bits, bw)
+			// got * bw must cover bits * 1e12.
+			if int64(got)*bw < int64(bits)*int64(Second) {
+				t.Fatalf("BitTime(%d, %d) = %v underestimates", bits, bw, got)
+			}
+			// And not overshoot by more than one picosecond's worth.
+			if (int64(got)-1)*bw >= int64(bits)*int64(Second) {
+				t.Fatalf("BitTime(%d, %d) = %v overestimates", bits, bw, got)
+			}
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide too often: %d", same)
+	}
+}
+
+func TestRandDistributions(t *testing.T) {
+	r := NewRand(42)
+	const n = 200000
+	// Intn uniformity (chi-squared-lite: each of 10 buckets within 5%).
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, b := range buckets {
+		if b < n/10*95/100 || b > n/10*105/100 {
+			t.Fatalf("bucket %d = %d, want ~%d", i, b, n/10)
+		}
+	}
+	// Float64 in [0,1), mean ~0.5.
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean = %v", mean)
+	}
+	// Exp mean.
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(10)
+	}
+	if mean := sum / n; mean < 9.8 || mean > 10.2 {
+		t.Fatalf("Exp(10) mean = %v", mean)
+	}
+	// Bool probability.
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; frac < 0.29 || frac > 0.31 {
+		t.Fatalf("Bool(0.3) frac = %v", frac)
+	}
+}
+
+func TestRandPanics(t *testing.T) {
+	r := NewRand(1)
+	mustPanic(t, "Intn(0)", func() { r.Intn(0) })
+	mustPanic(t, "Int63n(-1)", func() { r.Int63n(-1) })
+}

@@ -1,0 +1,137 @@
+// Package stats collects per-transaction measurements and produces the
+// paper's reporting quantities: the to-memory / in-memory / from-memory
+// latency decomposition of Fig. 5, average round-trip latency, and
+// throughput (completion time of a fixed trace), from which the
+// experiment harness computes speedups.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+)
+
+// Breakdown is the three-way latency split of Fig. 5 plus the total.
+type Breakdown struct {
+	ToMem   sim.Time
+	InMem   sim.Time
+	FromMem sim.Time
+}
+
+// Total returns the end-to-end latency.
+func (b Breakdown) Total() sim.Time { return b.ToMem + b.InMem + b.FromMem }
+
+// Fractions returns the three components normalized to the total.
+func (b Breakdown) Fractions() (to, in, from float64) {
+	t := float64(b.Total())
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return float64(b.ToMem) / t, float64(b.InMem) / t, float64(b.FromMem) / t
+}
+
+// Collector accumulates completed transactions for one simulated port.
+type Collector struct {
+	completed uint64
+	reads     uint64
+	writes    uint64
+
+	sumTo, sumIn, sumFrom sim.Time
+	sumHops               uint64
+
+	// samples retains individual latencies for percentile queries when
+	// enabled (bounded reservoir to keep memory flat).
+	keepSamples bool
+	samples     []sim.Time
+
+	finish sim.Time // completion time of the last transaction
+}
+
+// NewCollector returns an empty collector. If keepSamples is true,
+// individual total latencies are retained (up to a fixed reservoir) for
+// percentile reporting.
+func NewCollector(keepSamples bool) *Collector {
+	return &Collector{keepSamples: keepSamples}
+}
+
+const reservoirCap = 1 << 16
+
+// Complete records a finished transaction from its response packet. The
+// packet must carry all four timestamps.
+func (c *Collector) Complete(p *packet.Packet) {
+	c.completed++
+	if p.Kind.IsRead() {
+		c.reads++
+	} else {
+		c.writes++
+	}
+	to := p.ArrivedMem - p.Injected
+	in := p.DepartedMem - p.ArrivedMem
+	from := p.Completed - p.DepartedMem
+	if to < 0 || in < 0 || from < 0 {
+		panic(fmt.Sprintf("stats: negative latency component for %v: to=%v in=%v from=%v",
+			p, to, in, from))
+	}
+	c.sumTo += to
+	c.sumIn += in
+	c.sumFrom += from
+	c.sumHops += uint64(p.Hops)
+	if c.keepSamples && len(c.samples) < reservoirCap {
+		c.samples = append(c.samples, to+in+from)
+	}
+	if p.Completed > c.finish {
+		c.finish = p.Completed
+	}
+}
+
+// Completed reports the number of recorded transactions.
+func (c *Collector) Completed() uint64 { return c.completed }
+
+// Reads and Writes report the transaction mix.
+func (c *Collector) Reads() uint64  { return c.reads }
+func (c *Collector) Writes() uint64 { return c.writes }
+
+// FinishTime reports the completion time of the last transaction — the
+// experiment harness's execution-time metric.
+func (c *Collector) FinishTime() sim.Time { return c.finish }
+
+// MeanBreakdown returns the average latency decomposition.
+func (c *Collector) MeanBreakdown() Breakdown {
+	if c.completed == 0 {
+		return Breakdown{}
+	}
+	n := sim.Time(c.completed)
+	return Breakdown{ToMem: c.sumTo / n, InMem: c.sumIn / n, FromMem: c.sumFrom / n}
+}
+
+// MeanLatency returns the average end-to-end latency.
+func (c *Collector) MeanLatency() sim.Time { return c.MeanBreakdown().Total() }
+
+// MeanHops returns the average response-path hop count per transaction.
+func (c *Collector) MeanHops() float64 {
+	if c.completed == 0 {
+		return 0
+	}
+	return float64(c.sumHops) / float64(c.completed)
+}
+
+// Percentile returns the p-th percentile (0..100) of total latency.
+// Requires sample retention; returns 0 otherwise.
+func (c *Collector) Percentile(p float64) sim.Time {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	s := make([]sim.Time, len(c.samples))
+	copy(s, c.samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p / 100 * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

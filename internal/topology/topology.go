@@ -1,0 +1,645 @@
+// Package topology builds the memory-network graphs the paper studies —
+// chain, ring, ternary tree (Fig. 3), the skip-list topology (Fig. 8),
+// and the MetaCube cluster topology (Fig. 9) — and computes their
+// shortest-path routing tables.
+//
+// Routing is class-based: the skip-list differentiates traffic, sending
+// reads over the full graph (so they exploit the express "skip" links)
+// while write requests are shunted down the central sequential chain
+// (§4.2). Each class has its own next-hop and distance tables; for
+// topologies without express links the two classes coincide.
+//
+// Memory cube packages are limited to 4 external links (HMC-like);
+// builders enforce this. MetaCube interface chips may exceed it — that
+// is precisely the high-radix-router-on-interposer advantage of §4.3.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"memnet/internal/config"
+	"memnet/internal/packet"
+)
+
+// Kind selects a topology family.
+type Kind uint8
+
+const (
+	// Chain is a linear daisy-chain of cubes (Fig. 3b).
+	Chain Kind = iota
+	// Ring closes the chain into a cycle so traffic takes the shorter
+	// branch (Fig. 3c).
+	Ring
+	// Tree is the ternary tree that best exploits the 4 links per cube
+	// (Fig. 3d).
+	Tree
+	// SkipList is the chain plus express skip links of §4.2 (Fig. 8).
+	SkipList
+	// MetaCube clusters four cubes behind an interface chip on an
+	// interposer; interface chips form a ternary tree (§4.3, Fig. 9).
+	MetaCube
+	// Mesh is a 2D mesh, provided as an extension baseline. The paper
+	// excludes it from its evaluation because its average hop count is
+	// worse than a tree no matter which cube attaches to the host (§3);
+	// building it lets that claim be checked directly.
+	Mesh
+)
+
+// Kinds lists the paper's evaluated topologies in presentation order
+// (the experiment harness sweeps exactly these).
+var Kinds = []Kind{Chain, Ring, Tree, SkipList, MetaCube}
+
+// AllKinds additionally includes the extension topologies.
+var AllKinds = []Kind{Chain, Ring, Tree, SkipList, MetaCube, Mesh}
+
+// String implements fmt.Stringer using the paper's names.
+func (k Kind) String() string {
+	switch k {
+	case Chain:
+		return "Chain"
+	case Ring:
+		return "Ring"
+	case Tree:
+		return "Tree"
+	case SkipList:
+		return "SkipList"
+	case MetaCube:
+		return "MetaCube"
+	case Mesh:
+		return "Mesh"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Letter returns the paper's single-letter (or short) suffix for
+// configuration labels, e.g. "C" in "50%-C (NVM-L)".
+func (k Kind) Letter() string {
+	switch k {
+	case Chain:
+		return "C"
+	case Ring:
+		return "R"
+	case Tree:
+		return "T"
+	case SkipList:
+		return "SL"
+	case MetaCube:
+		return "MC"
+	case Mesh:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// NodeKind classifies graph nodes.
+type NodeKind uint8
+
+const (
+	// Host is the processor memory port (always node 0).
+	Host NodeKind = iota
+	// Cube is a memory cube holding DRAM or NVM.
+	Cube
+	// Iface is a MetaCube interface chip: a router with no memory.
+	Iface
+)
+
+// PathClass selects a routing table.
+type PathClass uint8
+
+const (
+	// PathShort routes over every link (shortest paths; reads).
+	PathShort PathClass = iota
+	// PathLong routes over non-express links only (the central chain;
+	// write requests in a skip list).
+	PathLong
+	// NumClasses is the routing-table count.
+	NumClasses
+)
+
+// ClassOf returns the routing class for a packet kind given whether
+// write-shortcutting (the §5.3 hysteresis mechanism) is currently
+// engaged.
+func ClassOf(k packet.Kind, writeShortcut bool) PathClass {
+	if k == packet.WriteReq && !writeShortcut {
+		return PathLong
+	}
+	return PathShort
+}
+
+// Node is one vertex of the network graph.
+type Node struct {
+	ID   packet.NodeID
+	Kind NodeKind
+	Tech config.MemTech // meaningful only for Kind==Cube
+	// Pos is the cube's position in the host-proximity ordering used for
+	// NVM placement (0 = nearest). -1 for non-cubes.
+	Pos int
+}
+
+// Edge is an undirected physical link.
+type Edge struct {
+	A, B packet.NodeID
+	// Express marks a skip link: excluded from the PathLong graph.
+	Express bool
+	// Interposer marks a MetaCube-internal interposer trace (wider,
+	// lower latency than a package-to-package SerDes link).
+	Interposer bool
+}
+
+// half is one directed half of an edge as seen from a node.
+type half struct {
+	to   packet.NodeID
+	edge int // index into Graph.Edges
+}
+
+// MaxCubePorts is the external-link budget of a memory cube package.
+const MaxCubePorts = 4
+
+// Graph is an immutable built topology with routing tables.
+type Graph struct {
+	Kind  Kind
+	Nodes []Node
+	Edges []Edge
+
+	adj [][]half
+	// next[class][node][dst] = port index into adj[node], or -1.
+	next [NumClasses][][]int8
+	// dist[class][node][dst] = hop count, or -1 if unreachable.
+	dist [NumClasses][][]int16
+}
+
+// NumNodes reports the node count including the host.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// CubeIDs returns the IDs of all memory-holding cubes in position order.
+func (g *Graph) CubeIDs() []packet.NodeID {
+	ids := make([]packet.NodeID, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Kind == Cube {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// Degree reports the number of links at node n.
+func (g *Graph) Degree(n packet.NodeID) int { return len(g.adj[n]) }
+
+// Neighbor reports the node reached through the given port of n.
+func (g *Graph) Neighbor(n packet.NodeID, port int) packet.NodeID {
+	return g.adj[n][port].to
+}
+
+// EdgeAt returns the edge behind the given port of n.
+func (g *Graph) EdgeAt(n packet.NodeID, port int) Edge {
+	return g.Edges[g.adj[n][port].edge]
+}
+
+// EdgeIndex returns the index into Edges of the link behind the given
+// port of n.
+func (g *Graph) EdgeIndex(n packet.NodeID, port int) int {
+	return g.adj[n][port].edge
+}
+
+// NextPort returns the output port at node n toward dst for the given
+// class, or -1 when n == dst or dst is unreachable in that class.
+func (g *Graph) NextPort(class PathClass, n, dst packet.NodeID) int {
+	return int(g.next[class][n][dst])
+}
+
+// Dist returns the hop distance between a and b in the given class, or
+// -1 if disconnected.
+func (g *Graph) Dist(class PathClass, a, b packet.NodeID) int {
+	return int(g.dist[class][a][b])
+}
+
+// builder accumulates nodes and edges during construction.
+type builder struct {
+	kind  Kind
+	nodes []Node
+	edges []Edge
+	deg   []int
+}
+
+func newBuilder(kind Kind) *builder {
+	b := &builder{kind: kind}
+	b.nodes = append(b.nodes, Node{ID: packet.HostNode, Kind: Host, Pos: -1})
+	b.deg = append(b.deg, 0)
+	return b
+}
+
+func (b *builder) addNode(kind NodeKind, tech config.MemTech, pos int) packet.NodeID {
+	id := packet.NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{ID: id, Kind: kind, Tech: tech, Pos: pos})
+	b.deg = append(b.deg, 0)
+	return id
+}
+
+func (b *builder) link(a, c packet.NodeID, express, interposer bool) {
+	b.edges = append(b.edges, Edge{A: a, B: c, Express: express, Interposer: interposer})
+	b.deg[a]++
+	b.deg[c]++
+}
+
+// spare reports whether node n, a cube, can take another external link.
+func (b *builder) spare(n packet.NodeID) bool {
+	return b.deg[n] < MaxCubePorts
+}
+
+// Option adjusts topology construction.
+type Option func(*buildOpts)
+
+type buildOpts struct {
+	metaGroup int
+}
+
+// WithMetaCubeGroup sets how many cubes share a MetaCube package
+// (default 4). The paper notes the interposer size bounds this (§4.3);
+// larger groups trade packaging cost for even fewer external hops.
+func WithMetaCubeGroup(n int) Option {
+	return func(o *buildOpts) { o.metaGroup = n }
+}
+
+// Build constructs the topology of the given kind over the given ordered
+// cube technologies (index 0 is the position nearest the host; NVM-F/L
+// placement is expressed by the caller through this ordering).
+func Build(kind Kind, techs []config.MemTech, opts ...Option) (*Graph, error) {
+	if len(techs) == 0 {
+		return nil, fmt.Errorf("topology: no cubes")
+	}
+	bo := buildOpts{metaGroup: 4}
+	for _, o := range opts {
+		o(&bo)
+	}
+	if bo.metaGroup <= 0 {
+		return nil, fmt.Errorf("topology: non-positive MetaCube group %d", bo.metaGroup)
+	}
+	b := newBuilder(kind)
+	switch kind {
+	case Chain:
+		b.buildChain(techs)
+	case Ring:
+		b.buildRing(techs)
+	case Tree:
+		b.buildTree(techs)
+	case SkipList:
+		b.buildSkipList(techs)
+	case MetaCube:
+		b.buildMetaCube(techs, bo.metaGroup)
+	case Mesh:
+		b.buildMesh(techs)
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %v", kind)
+	}
+	return b.finish()
+}
+
+// buildChain: host - c0 - c1 - ... - cn-1.
+func (b *builder) buildChain(techs []config.MemTech) {
+	prev := packet.HostNode
+	for i, t := range techs {
+		c := b.addNode(Cube, t, i)
+		b.link(prev, c, false, false)
+		prev = c
+	}
+}
+
+// buildRing: the cubes form a cycle; the host attaches to one cube,
+// which therefore uses three of its four ports. Because traffic takes
+// the shorter branch, positions in the host-proximity ordering zigzag
+// around the cycle (position 0 at the host slot, positions 1 and 2 at
+// its two ring neighbors, and so on), so that "NVM last" really places
+// NVM at the far side of the ring. A single cube degenerates to a chain
+// of one.
+func (b *builder) buildRing(techs []config.MemTech) {
+	n := len(techs)
+	// slotTech[s] is the technology at ring slot s (slot 0 touches the
+	// host; walking distance grows as min(s, n-s)).
+	slotTech := make([]config.MemTech, n)
+	slotPos := make([]int, n)
+	lo, hi := 0, n-1
+	for pos, t := range techs {
+		var s int
+		if pos%2 == 0 {
+			s = lo
+			lo++
+		} else {
+			s = hi
+			hi--
+		}
+		slotTech[s] = t
+		slotPos[s] = pos
+	}
+	ids := make([]packet.NodeID, n)
+	for s := 0; s < n; s++ {
+		ids[s] = b.addNode(Cube, slotTech[s], slotPos[s])
+	}
+	b.link(packet.HostNode, ids[0], false, false)
+	for s := 0; s+1 < n; s++ {
+		b.link(ids[s], ids[s+1], false, false)
+	}
+	if n > 2 {
+		b.link(ids[n-1], ids[0], false, false)
+	}
+}
+
+// buildTree: a ternary tree in breadth-first position order, so that
+// earlier positions (where NVM-F places NVM) are nearer the host. Each
+// cube spends one port on its parent and up to three on children.
+func (b *builder) buildTree(techs []config.MemTech) {
+	ids := make([]packet.NodeID, len(techs))
+	for i, t := range techs {
+		ids[i] = b.addNode(Cube, t, i)
+	}
+	b.link(packet.HostNode, ids[0], false, false)
+	// BFS fill: node i's children are 3i+1, 3i+2, 3i+3.
+	for i := range ids {
+		for c := 3*i + 1; c <= 3*i+3 && c < len(ids); c++ {
+			b.link(ids[i], ids[c], false, false)
+		}
+	}
+}
+
+// buildSkipList: a central sequential chain plus recursively halving
+// express links, constrained by the 4-port budget. The construction
+// reproduces Fig. 8 for 16 cubes: skips 1->9 (stride 8), 9->13, 1->5
+// (stride 4), 13->15, 5->7 (stride 2); the farthest cube is then 5 hops
+// from the host (strides 8, 4, 2, 1 after the host link).
+func (b *builder) buildSkipList(techs []config.MemTech) {
+	n := len(techs)
+	ids := make([]packet.NodeID, n)
+	for i, t := range techs {
+		ids[i] = b.addNode(Cube, t, i)
+	}
+	b.link(packet.HostNode, ids[0], false, false)
+	for i := 0; i+1 < n; i++ {
+		b.link(ids[i], ids[i+1], false, false)
+	}
+	// Largest power-of-two stride no greater than half the list.
+	maxStride := 1
+	for maxStride*2 <= n/2 {
+		maxStride *= 2
+	}
+	var addSkips func(from, stride int)
+	addSkips = func(from, stride int) {
+		for s := stride; s >= 2; s /= 2 {
+			to := from + s
+			if to >= n {
+				continue
+			}
+			if !b.spare(ids[from]) || !b.spare(ids[to]) {
+				continue
+			}
+			b.link(ids[from], ids[to], true, false)
+			addSkips(to, s)
+		}
+	}
+	if n >= 3 {
+		addSkips(0, maxStride)
+	}
+}
+
+// buildMetaCube: cubes are grouped four-per-package behind an interface
+// chip (a memoryless router) connected by interposer traces; the
+// interface chips form a ternary tree toward the host. Groups are filled
+// in position order so NVM placement carries through.
+func (b *builder) buildMetaCube(techs []config.MemTech, group int) {
+	nGroups := (len(techs) + group - 1) / group
+	ifaces := make([]packet.NodeID, nGroups)
+	for gi := 0; gi < nGroups; gi++ {
+		ifaces[gi] = b.addNode(Iface, config.DRAM, -1)
+	}
+	b.link(packet.HostNode, ifaces[0], false, false)
+	for gi := range ifaces {
+		for c := 3*gi + 1; c <= 3*gi+3 && c < len(ifaces); c++ {
+			b.link(ifaces[gi], ifaces[c], false, false)
+		}
+	}
+	for i, t := range techs {
+		cube := b.addNode(Cube, t, i)
+		b.link(ifaces[i/group], cube, false, true)
+	}
+}
+
+// buildMesh: a near-square 2D mesh with the host attached at the (0,0)
+// corner (which therefore has two mesh links plus the host link).
+// Positions in the host-proximity ordering are assigned by increasing
+// Manhattan distance from the corner, so NVM placement behaves as in the
+// other topologies. The trailing cells of a non-rectangular count are
+// simply absent (a ragged last row).
+func (b *builder) buildMesh(techs []config.MemTech) {
+	n := len(techs)
+	// Choose the widest W <= sqrt(n) that keeps the grid near-square.
+	w := 1
+	for (w+1)*(w+1) <= n {
+		w++
+	}
+	h := (n + w - 1) / w
+
+	// Enumerate grid cells (x,y), y-major rows, ragged tail allowed.
+	type cell struct{ x, y int }
+	cells := make([]cell, 0, n)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w && len(cells) < n; x++ {
+			cells = append(cells, cell{x, y})
+		}
+	}
+	// Assign positions by Manhattan distance from the host corner,
+	// breaking ties row-major (stable order for determinism).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, c := cells[order[i]], cells[order[j]]
+		return a.x+a.y < c.x+c.y
+	})
+	ids := make([]packet.NodeID, n)
+	for pos, ci := range order {
+		ids[ci] = b.addNode(Cube, techs[pos], pos)
+	}
+	idAt := func(x, y int) (packet.NodeID, bool) {
+		if x < 0 || y < 0 || x >= w || y >= h {
+			return 0, false
+		}
+		i := y*w + x
+		if i >= n {
+			return 0, false
+		}
+		return ids[i], true
+	}
+	b.link(packet.HostNode, ids[0], false, false)
+	for i, c := range cells {
+		if right, ok := idAt(c.x+1, c.y); ok {
+			b.link(ids[i], right, false, false)
+		}
+		if down, ok := idAt(c.x, c.y+1); ok {
+			b.link(ids[i], down, false, false)
+		}
+	}
+}
+
+// finish validates port budgets, builds adjacency, and computes the
+// per-class routing tables.
+func (b *builder) finish() (*Graph, error) {
+	g := &Graph{Kind: b.kind, Nodes: b.nodes, Edges: b.edges}
+	if err := g.rebuild(); err != nil {
+		return nil, err
+	}
+	for _, n := range g.Nodes {
+		d := len(g.adj[n.ID])
+		switch n.Kind {
+		case Cube:
+			if d > MaxCubePorts {
+				return nil, fmt.Errorf(
+					"topology: cube %d exceeds %d ports (%d)", n.ID, MaxCubePorts, d)
+			}
+		case Host:
+			if d != 1 {
+				return nil, fmt.Errorf("topology: host must have exactly 1 link, has %d", d)
+			}
+		}
+	}
+	return g, nil
+}
+
+// rebuild recomputes adjacency and routing tables from Nodes/Edges.
+func (g *Graph) rebuild() error {
+	g.adj = make([][]half, len(g.Nodes))
+	for ei, e := range g.Edges {
+		g.adj[e.A] = append(g.adj[e.A], half{to: e.B, edge: ei})
+		g.adj[e.B] = append(g.adj[e.B], half{to: e.A, edge: ei})
+	}
+	for class := PathClass(0); class < NumClasses; class++ {
+		next, dist, err := g.routes(class)
+		if err != nil {
+			return err
+		}
+		g.next[class] = next
+		g.dist[class] = dist
+	}
+	// Degraded-mode fallback: if a pair is unreachable on the restricted
+	// write-path graph (e.g. the central chain of a skip list lost a
+	// link), writes fall back to the shortest-path table rather than
+	// stranding (the RAS behavior footnote 3 of the paper gestures at).
+	for n := range g.Nodes {
+		for d := range g.Nodes {
+			if g.next[PathLong][n][d] < 0 && n != d {
+				g.next[PathLong][n][d] = g.next[PathShort][n][d]
+				g.dist[PathLong][n][d] = g.dist[PathShort][n][d]
+			}
+		}
+	}
+	return nil
+}
+
+// RemoveEdge returns a copy of the graph with edge ei failed (removed)
+// and routes recomputed. It errors if the network would disconnect —
+// chains and trees have no redundancy; rings, skip lists, and meshes
+// reroute.
+func (g *Graph) RemoveEdge(ei int) (*Graph, error) {
+	if ei < 0 || ei >= len(g.Edges) {
+		return nil, fmt.Errorf("topology: no edge %d", ei)
+	}
+	ng := &Graph{Kind: g.Kind}
+	ng.Nodes = append([]Node(nil), g.Nodes...)
+	ng.Edges = append([]Edge(nil), g.Edges[:ei]...)
+	ng.Edges = append(ng.Edges, g.Edges[ei+1:]...)
+	if err := ng.rebuild(); err != nil {
+		return nil, fmt.Errorf("topology: removing link %d-%d disconnects the network: %w",
+			g.Edges[ei].A, g.Edges[ei].B, err)
+	}
+	return ng, nil
+}
+
+// routes computes next-hop and distance tables for one class with BFS
+// from every destination. Express edges are excluded from PathLong. Ties
+// break toward the lowest port index, which is deterministic.
+func (g *Graph) routes(class PathClass) ([][]int8, [][]int16, error) {
+	n := len(g.Nodes)
+	next := make([][]int8, n)
+	dist := make([][]int16, n)
+	for i := range next {
+		next[i] = make([]int8, n)
+		dist[i] = make([]int16, n)
+		for j := range next[i] {
+			next[i][j] = -1
+			dist[i][j] = -1
+		}
+	}
+	usable := func(ei int) bool {
+		return class == PathShort || !g.Edges[ei].Express
+	}
+	queue := make([]packet.NodeID, 0, n)
+	for dst := 0; dst < n; dst++ {
+		d := packet.NodeID(dst)
+		dist[dst][dst] = 0
+		queue = queue[:0]
+		queue = append(queue, d)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for port, h := range g.adj[u] {
+				if !usable(h.edge) {
+					continue
+				}
+				v := h.to
+				if dist[v][dst] != -1 {
+					continue
+				}
+				dist[v][dst] = dist[u][dst] + 1
+				// From v, the port leading back to u is the next hop
+				// toward dst.
+				for vp, vh := range g.adj[v] {
+					if vh.to == u && usable(vh.edge) {
+						next[v][dst] = int8(vp)
+						break
+					}
+				}
+				queue = append(queue, v)
+				_ = port
+			}
+		}
+	}
+	// The full graph (PathShort) must be connected; the restricted
+	// write-path graph may have holes, which rebuild patches with
+	// shortest-path fallbacks.
+	if class == PathShort {
+		for _, a := range g.Nodes {
+			if dist[packet.HostNode][a.ID] < 0 {
+				return nil, nil, fmt.Errorf("topology: node %d unreachable from host",
+					a.ID)
+			}
+		}
+	}
+	return next, dist, nil
+}
+
+// MaxHostDist returns the largest host-to-cube hop count in PathShort —
+// the network diameter figure the paper quotes (e.g. 5 for the 16-cube
+// skip list).
+func (g *Graph) MaxHostDist() int {
+	max := 0
+	for _, id := range g.CubeIDs() {
+		if d := g.Dist(PathShort, packet.HostNode, id); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MeanHostDist returns the average host-to-cube shortest-path hop count.
+func (g *Graph) MeanHostDist() float64 {
+	ids := g.CubeIDs()
+	if len(ids) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, id := range ids {
+		sum += g.Dist(PathShort, packet.HostNode, id)
+	}
+	return float64(sum) / float64(len(ids))
+}

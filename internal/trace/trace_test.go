@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+)
+
+func ev(at sim.Time, id uint64) Event {
+	return Event{At: at, Op: Arrive, Node: 3, ID: id, Kind: packet.ReadReq, Addr: 0x40}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := NewLog(4)
+	for i := 1; i <= 10; i++ {
+		l.Record(ev(sim.Time(i), uint64(i)))
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total %d", l.Total())
+	}
+	got := l.Events()
+	if len(got) != 4 {
+		t.Fatalf("retained %d", len(got))
+	}
+	for i, e := range got {
+		if e.ID != uint64(7+i) {
+			t.Fatalf("event %d has ID %d, want %d (chronological tail)", i, e.ID, 7+i)
+		}
+	}
+}
+
+func TestUnderfill(t *testing.T) {
+	l := NewLog(8)
+	l.Record(ev(1, 1))
+	l.Record(ev(2, 2))
+	got := l.Events()
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("events %v", got)
+	}
+}
+
+func TestPacketFilter(t *testing.T) {
+	l := NewLog(16)
+	for i := 0; i < 6; i++ {
+		l.Record(ev(sim.Time(i), uint64(i%2)))
+	}
+	if n := len(l.Packet(1)); n != 3 {
+		t.Fatalf("packet filter got %d", n)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, op := range []Op{Inject, Arrive, MemStart, MemDone, Complete} {
+		if strings.Contains(op.String(), "op(") {
+			t.Errorf("missing name for op %d", op)
+		}
+	}
+	l := NewLog(2)
+	l.Record(ev(1500, 9))
+	s := l.String()
+	for _, want := range []string{"arrive", "node=3", "ReadReq#9", "0x40"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("log string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	l := NewLog(0)
+	for i := 0; i < 2000; i++ {
+		l.Record(ev(sim.Time(i), uint64(i)))
+	}
+	if len(l.Events()) != 1024 {
+		t.Fatalf("default capacity: %d", len(l.Events()))
+	}
+}

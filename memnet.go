@@ -1,0 +1,277 @@
+// Package memnet is a discrete-event simulator for networks of 3D-stacked
+// memory cubes, reproducing "There and Back Again: Optimizing the
+// Interconnect in Networks of Memory Cubes" (Poremba et al., ISCA 2017).
+//
+// A memory network (MN) hangs a set of HMC-like memory cubes off each
+// memory port of a host processor using high-speed point-to-point SerDes
+// links. memnet models the full system — bank-level DRAM/PCM timing,
+// vault controllers, cube switches with configurable arbitration, credit
+// flow-controlled links with virtual channels, five network topologies
+// (chain, ring, ternary tree, the paper's skip-list, and MetaCube
+// clusters), DRAM:NVM capacity mixing with placement control, and a
+// GPU-like host traffic model — and regenerates every table and figure
+// of the paper's evaluation.
+//
+// # Quick start
+//
+//	cfg := memnet.DefaultConfig()
+//	cfg.Topology = memnet.Tree
+//	cfg.Workload = "KMEANS"
+//	res, err := memnet.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.FinishTime, res.MeanLatency)
+//
+// Deeper control (custom workloads, tuning, per-component stats) is
+// available through Build, which returns the live simulation Instance.
+package memnet
+
+import (
+	"fmt"
+
+	"memnet/internal/arb"
+	"memnet/internal/config"
+	"memnet/internal/core"
+	"memnet/internal/migrate"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+// Topology selects the memory-network topology.
+type Topology = topology.Kind
+
+// Topology kinds (Fig. 3, Fig. 8, Fig. 9 of the paper).
+const (
+	Chain    = topology.Chain
+	Ring     = topology.Ring
+	Tree     = topology.Tree
+	SkipList = topology.SkipList
+	MetaCube = topology.MetaCube
+	// Mesh is an extension topology the paper excludes (its average hop
+	// count is worse than a tree); included to verify that claim.
+	Mesh = topology.Mesh
+)
+
+// Topologies lists all supported topologies.
+var Topologies = topology.Kinds
+
+// Arbitration selects the router arbitration policy.
+type Arbitration = arb.Kind
+
+// Arbitration policies (§3.2, §4.1, §5.3).
+const (
+	RoundRobin        = arb.RoundRobin
+	Distance          = arb.Distance
+	DistanceAugmented = arb.DistanceAugmented
+)
+
+// Placement positions NVM cubes in mixed networks.
+type Placement = config.Placement
+
+// Placements (the paper's -L / -F suffixes).
+const (
+	NVMLast  = config.NVMLast
+	NVMFirst = config.NVMFirst
+)
+
+// Time re-exports the simulator's picosecond time type.
+type Time = sim.Time
+
+// Common durations.
+const (
+	Picosecond  = sim.Picosecond
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// System is the hardware configuration (the paper's Table 2).
+type System = config.System
+
+// DefaultSystem returns the paper's evaluated system: 2TB over 8 ports,
+// 16GB DRAM / 64GB NVM cubes, HBM-like and PCM-like timings.
+func DefaultSystem() System { return config.Default() }
+
+// WorkloadSpec is a synthetic workload proxy description.
+type WorkloadSpec = workload.Spec
+
+// Tx is one memory transaction of a workload trace.
+type Tx = workload.Tx
+
+// ReadTrace / WriteTrace serialize transaction traces in the memnet
+// text format (see internal/workload).
+var (
+	ReadTraceFrom = workload.ReadTrace
+	WriteTraceTo  = workload.WriteTrace
+)
+
+// Workloads returns the paper's eight workload proxies
+// (BACKPROP, BIT, BUFF, DCT, HOTSPOT, KMEANS, MATRIXMUL, NW).
+func Workloads() []WorkloadSpec { return workload.Suite() }
+
+// WorkloadByName looks up one of the suite workloads.
+func WorkloadByName(name string) (WorkloadSpec, error) { return workload.ByName(name) }
+
+// Results summarizes a completed simulation.
+type Results = core.Results
+
+// Tuning exposes the microarchitectural constants that are not part of
+// the paper's Table 2 (vault queue depths, switch bandwidth, wavefront
+// grouping, the write-burst hysteresis watermarks, ...); see
+// internal/core for field documentation. Used by the ablation benches.
+type Tuning = core.Tuning
+
+// DefaultTuning returns the standard tuning.
+func DefaultTuning() Tuning { return core.DefaultTuning() }
+
+// Instance is a built simulation exposing live components; see the
+// internal/core documentation for details.
+type Instance = core.Instance
+
+// MigrationPolicy tunes the optional hot-block migration manager — the
+// heterogeneous-memory management layer mixed DRAM:NVM networks rely on
+// (paper §2.4).
+type MigrationPolicy = migrate.Config
+
+// DefaultMigration returns a reasonable migration policy.
+func DefaultMigration() MigrationPolicy { return migrate.DefaultConfig() }
+
+// Config specifies one simulation run through the public API.
+type Config struct {
+	// System is the hardware platform; zero value means DefaultSystem.
+	System *System
+	// Topology of each port's memory network.
+	Topology Topology
+	// DRAMFraction of total capacity (1.0 = all DRAM); the paper labels
+	// configurations by this percentage.
+	DRAMFraction float64
+	// Placement of NVM cubes when 0 < DRAMFraction < 1.
+	Placement Placement
+	// Arbitration policy in every cube router.
+	Arbitration Arbitration
+	// Workload is a suite name (see Workloads); Custom overrides it.
+	Workload string
+	// Custom, if non-nil, is used instead of Workload.
+	Custom *WorkloadSpec
+	// Transactions to complete (default 20000).
+	Transactions uint64
+	// Seed for the deterministic workload stream (default 1).
+	Seed uint64
+	// KeepSamples retains per-transaction latencies for percentiles.
+	KeepSamples bool
+	// FailLinks fails the listed topology edges before the run (RAS
+	// experiment); building fails if the network would disconnect.
+	FailLinks []int
+	// Migration, when non-nil, enables epoch-based hot-block migration
+	// between NVM and DRAM cubes.
+	Migration *MigrationPolicy
+	// ReplayTrace drives the run from a recorded transaction trace
+	// instead of the synthetic generator.
+	ReplayTrace []Tx
+	// Record captures the generated trace (Instance.Recorder).
+	Record bool
+	// TraceDepth, when positive, records the last N packet lifecycle
+	// events (Instance.Trace) for debugging.
+	TraceDepth int
+	// Tuning overrides the microarchitectural tuning (nil = defaults).
+	Tuning *Tuning
+}
+
+// DefaultConfig returns an all-DRAM tree network running KMEANS.
+func DefaultConfig() Config {
+	return Config{
+		Topology:     Tree,
+		DRAMFraction: 1.0,
+		Placement:    NVMLast,
+		Arbitration:  RoundRobin,
+		Workload:     "KMEANS",
+		Transactions: 20000,
+		Seed:         1,
+	}
+}
+
+// params converts the public Config into internal core parameters.
+func (c Config) params() (core.Params, error) {
+	sys := config.Default()
+	if c.System != nil {
+		sys = *c.System
+	}
+	sys.DRAMFraction = c.DRAMFraction
+	sys.Placement = c.Placement
+
+	var spec workload.Spec
+	switch {
+	case c.Custom != nil:
+		spec = *c.Custom
+	case c.Workload != "":
+		s, err := workload.ByName(c.Workload)
+		if err != nil {
+			return core.Params{}, err
+		}
+		spec = s
+	case len(c.ReplayTrace) > 0:
+		spec = workload.Spec{Name: "replay", MeanGap: Nanosecond}
+	default:
+		return core.Params{}, fmt.Errorf("memnet: no workload specified")
+	}
+
+	txns := c.Transactions
+	if txns == 0 {
+		txns = 20000
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	p := core.Params{
+		Sys:          sys,
+		Topo:         c.Topology,
+		Arb:          c.Arbitration,
+		Workload:     spec,
+		Transactions: txns,
+		Seed:         seed,
+		KeepSamples:  c.KeepSamples,
+	}
+	p.FailLinks = c.FailLinks
+	p.Migration = c.Migration
+	p.Replay = c.ReplayTrace
+	p.Record = c.Record
+	p.TraceDepth = c.TraceDepth
+	if c.Tuning != nil {
+		p.Tuning = *c.Tuning
+	}
+	return p, nil
+}
+
+// Build constructs a simulation instance without running it, exposing
+// the engine and components for instrumentation.
+func Build(c Config) (*Instance, error) {
+	p, err := c.params()
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(p)
+}
+
+// Run builds and executes the simulation to completion.
+func Run(c Config) (Results, error) {
+	p, err := c.params()
+	if err != nil {
+		return Results{}, err
+	}
+	return core.Simulate(p)
+}
+
+// Speedup runs two configurations and returns a's speedup over b
+// (b.FinishTime/a.FinishTime - 1), the paper's comparison metric.
+func Speedup(a, b Config) (float64, error) {
+	ra, err := Run(a)
+	if err != nil {
+		return 0, err
+	}
+	rb, err := Run(b)
+	if err != nil {
+		return 0, err
+	}
+	return float64(rb.FinishTime)/float64(ra.FinishTime) - 1, nil
+}

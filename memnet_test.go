@@ -1,0 +1,249 @@
+package memnet
+
+import (
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Transactions = 2000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transactions != 2000 {
+		t.Fatalf("completed %d", res.Transactions)
+	}
+	if res.Label != "100%-T" {
+		t.Fatalf("label %q", res.Label)
+	}
+	if res.FinishTime <= 0 || res.MeanLatency <= 0 {
+		t.Fatal("timings not populated")
+	}
+	if res.Energy.TotalPJ() <= 0 {
+		t.Fatal("energy not populated")
+	}
+}
+
+func TestBuildExposesInstance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Transactions = 500
+	in, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Graph.NumNodes() != 17 { // host + 16 cubes
+		t.Fatalf("nodes = %d", in.Graph.NumNodes())
+	}
+	res, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transactions != 500 {
+		t.Fatal("instance run incomplete")
+	}
+}
+
+func TestCustomWorkload(t *testing.T) {
+	spec := WorkloadSpec{
+		Name: "custom", ReadFraction: 1.0,
+		MeanGap: 10 * Nanosecond, SeqProb: 0.9, SeqStride: 64,
+	}
+	cfg := DefaultConfig()
+	cfg.Custom = &spec
+	cfg.Transactions = 1000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes != 0 {
+		t.Fatalf("all-read workload produced %d writes", res.Writes)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workload = "MISSING"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown workload must fail")
+	}
+	cfg = Config{Topology: Tree, DRAMFraction: 1}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("missing workload must fail")
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	a := DefaultConfig()
+	a.Transactions = 1500
+	b := a
+	b.Topology = Chain
+	s, err := Speedup(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
+		t.Fatalf("tree over chain speedup %.2f, want positive", s)
+	}
+}
+
+func TestWorkloadsExposed(t *testing.T) {
+	if len(Workloads()) != 8 {
+		t.Fatal("suite size")
+	}
+	if _, err := WorkloadByName("NW"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemOverride(t *testing.T) {
+	sys := DefaultSystem()
+	sys.Ports = 4
+	cfg := DefaultConfig()
+	cfg.System = &sys
+	cfg.Transactions = 1000
+	in, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 ports -> 512GB/port -> 32 cubes.
+	if got := len(in.Graph.CubeIDs()); got != 32 {
+		t.Fatalf("cubes = %d, want 32", got)
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Transactions = 800
+	cfg.Record = true
+	in, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := in.Recorder.Trace()
+	if len(trace) < 800 {
+		t.Fatalf("recorded %d", len(trace))
+	}
+
+	// Replaying the captured trace reproduces the run exactly.
+	replay := DefaultConfig()
+	replay.Transactions = 800
+	replay.Workload = ""
+	replay.ReplayTrace = trace
+	res, err := Run(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinishTime != orig.FinishTime || res.Reads != orig.Reads {
+		t.Fatalf("replay diverged: %v/%d vs %v/%d",
+			res.FinishTime, res.Reads, orig.FinishTime, orig.Reads)
+	}
+}
+
+func TestAblationTunings(t *testing.T) {
+	base := DefaultConfig()
+	base.Transactions = 1500
+	r0, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ideal switch must be at least as fast as the contended one.
+	tn := DefaultTuning()
+	tn.SwitchBandwidthBps = 0
+	fast := base
+	fast.Tuning = &tn
+	r1, err := Run(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.FinishTime > r0.FinishTime {
+		t.Fatalf("ideal switch slower: %v > %v", r1.FinishTime, r0.FinishTime)
+	}
+	// A tiny window must slow completion substantially.
+	sys := DefaultSystem()
+	sys.MaxOutstanding = 8
+	slow := base
+	slow.System = &sys
+	r2, err := Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(r2.FinishTime) < float64(r0.FinishTime)*1.3 {
+		t.Fatalf("window=8 barely slowed the run: %v vs %v", r2.FinishTime, r0.FinishTime)
+	}
+}
+
+func TestFailLinksPublic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = Ring
+	cfg.Transactions = 800
+	cfg.FailLinks = []int{2}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transactions != 800 {
+		t.Fatal("degraded ring did not complete")
+	}
+	cfg.Topology = Chain
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("chain cut must fail")
+	}
+}
+
+func TestMigrationPublic(t *testing.T) {
+	mc := DefaultMigration()
+	cfg := DefaultConfig()
+	cfg.DRAMFraction = 0.5
+	cfg.Workload = "HOTSPOT"
+	cfg.Transactions = 2000
+	cfg.Migration = &mc
+	in, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Migrator == nil {
+		t.Fatal("migrator not exposed")
+	}
+	if in.Migrator.Stats().Epochs == 0 {
+		t.Fatal("migration epochs never ran")
+	}
+}
+
+func TestRunSystem(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Transactions = 1200
+	sr, err := RunSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.PerPort) != 8 {
+		t.Fatalf("ports = %d", len(sr.PerPort))
+	}
+	// The system finishes with its slowest port.
+	for _, r := range sr.PerPort {
+		if r.FinishTime > sr.FinishTime {
+			t.Fatal("finish not the max")
+		}
+	}
+	// Ports are statistically identical: the paper's disjoint-slice
+	// argument predicts a small finish-time spread.
+	if sr.Spread > 0.15 {
+		t.Fatalf("port spread %.2f too large for symmetric ports", sr.Spread)
+	}
+	if sr.MeanLatency <= 0 || sr.TotalEnergyPJ <= 0 {
+		t.Fatal("aggregates not populated")
+	}
+	// Energy is roughly 8x a single port's.
+	single := sr.PerPort[0].Energy.TotalPJ()
+	if sr.TotalEnergyPJ < 6*single || sr.TotalEnergyPJ > 10*single {
+		t.Fatalf("system energy %.0f vs single %.0f", sr.TotalEnergyPJ, single)
+	}
+}

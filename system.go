@@ -1,0 +1,99 @@
+package memnet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"memnet/internal/sim"
+)
+
+// SystemResults aggregates a whole-system run: one simulation per host
+// memory port, each serving its own disjoint, identically-distributed
+// slice of the interleaved address space (paper §2.3).
+type SystemResults struct {
+	// PerPort holds each port's results in port order.
+	PerPort []Results
+	// FinishTime is the slowest port's completion (the system finishes
+	// when its last port does).
+	FinishTime Time
+	// MeanLatency is the transaction-weighted average latency.
+	MeanLatency Time
+	// TotalEnergyPJ sums all ports' dynamic energy.
+	TotalEnergyPJ float64
+	// Spread is the relative finish-time spread across ports
+	// (max/min - 1) — small values confirm the disjoint-port symmetry
+	// assumption the paper builds on.
+	Spread float64
+}
+
+// RunSystem simulates every memory port of the configured system
+// concurrently (each port gets a decorrelated seed) and aggregates the
+// results. Because ports are disjoint, this is exact, not an
+// approximation — it exists to expose whole-system numbers and to
+// verify the per-port symmetry that justifies single-port studies.
+func RunSystem(c Config) (SystemResults, error) {
+	sys := DefaultSystem()
+	if c.System != nil {
+		sys = *c.System
+	}
+	ports := sys.Ports
+	if ports <= 0 {
+		return SystemResults{}, fmt.Errorf("memnet: non-positive port count")
+	}
+	baseSeed := c.Seed
+	if baseSeed == 0 {
+		baseSeed = 1
+	}
+
+	results := make([]Results, ports)
+	errs := make([]error, ports)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for port := 0; port < ports; port++ {
+		wg.Add(1)
+		go func(port int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pc := c
+			// Decorrelate the ports' traffic: same workload character,
+			// different streams (the global interleave hands each port a
+			// different slice of the access stream).
+			pc.Seed = baseSeed + uint64(port)*0x9e3779b97f4a7c15
+			results[port], errs[port] = Run(pc)
+		}(port)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return SystemResults{}, err
+		}
+	}
+
+	out := SystemResults{PerPort: results}
+	var latSum sim.Time
+	var txns uint64
+	minFin, maxFin := results[0].FinishTime, results[0].FinishTime
+	for _, r := range results {
+		if r.FinishTime > out.FinishTime {
+			out.FinishTime = r.FinishTime
+		}
+		if r.FinishTime < minFin {
+			minFin = r.FinishTime
+		}
+		if r.FinishTime > maxFin {
+			maxFin = r.FinishTime
+		}
+		latSum += r.MeanLatency * sim.Time(r.Transactions)
+		txns += r.Transactions
+		out.TotalEnergyPJ += r.Energy.TotalPJ()
+	}
+	if txns > 0 {
+		out.MeanLatency = latSum / sim.Time(txns)
+	}
+	if minFin > 0 {
+		out.Spread = float64(maxFin)/float64(minFin) - 1
+	}
+	return out, nil
+}

@@ -18,19 +18,33 @@ import (
 	"strings"
 
 	"memnet/internal/experiments"
+	"memnet/internal/prof"
 )
 
 func main() {
 	var (
 		expFlag = flag.String("exp", "all",
 			"comma-separated: table1,table2,fig4,fig5,fig7,fig10,fig11,fig12,fig13,fig14,fig15,mesh or all")
-		quick  = flag.Bool("quick", false, "reduced trace length for a fast pass")
-		txns   = flag.Uint64("txns", 0, "override transactions per run")
-		seed   = flag.Uint64("seed", 1, "workload seed")
-		format = flag.String("format", "text", "text | csv | chart")
-		outDir = flag.String("out", "", "directory for per-experiment output files (default stdout)")
+		quick   = flag.Bool("quick", false, "reduced trace length for a fast pass")
+		txns    = flag.Uint64("txns", 0, "override transactions per run")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		format  = flag.String("format", "text", "text | csv | chart")
+		outDir  = flag.String("out", "", "directory for per-experiment output files (default stdout)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mnexp:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "mnexp:", err)
+		}
+	}()
 
 	opts := experiments.DefaultOptions()
 	if *quick {

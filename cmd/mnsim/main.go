@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"memnet"
+	"memnet/internal/prof"
 )
 
 func main() {
@@ -33,8 +34,14 @@ func main() {
 		recordTo  = flag.String("record-trace", "", "write the generated transaction trace to this file")
 		replayFrm = flag.String("replay-trace", "", "drive the run from a recorded trace file")
 		traceN    = flag.Int("trace", 0, "print the last N packet lifecycle events")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	check(err)
+	defer func() { check(stopProf()) }()
 
 	if *wlFlag == "list" {
 		for _, s := range memnet.Workloads() {
@@ -45,7 +52,6 @@ func main() {
 	}
 
 	cfg := memnet.DefaultConfig()
-	var err error
 	cfg.Topology, err = parseTopology(*topoFlag)
 	check(err)
 	cfg.Arbitration, err = parseArb(*arbFlag)

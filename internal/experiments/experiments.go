@@ -151,7 +151,15 @@ type pair struct {
 
 // Warm executes all missing (cfg, workload) pairs concurrently and fills
 // the cache. Each simulation is an independent engine, so parallel
-// scheduling cannot change any result. The first error wins.
+// scheduling cannot change any result. The first error wins, and no
+// partial results are cached when any run fails.
+//
+// The pool is channel-fed: a dispatcher goroutine streams work into a
+// jobs channel, workers stream outcomes into a results channel, and the
+// calling goroutine alone merges them. Dispatch and result merging share
+// no lock, so a worker finishing a run never waits behind work handout
+// (and vice versa), which matters when many short simulations complete
+// in bursts.
 func (r *Runner) Warm(cfgs []MNConfig, suite []workload.Spec) error {
 	var todo []pair
 	seen := map[runKey]bool{}
@@ -175,41 +183,61 @@ func (r *Runner) Warm(cfgs []MNConfig, suite []workload.Spec) error {
 	if workers > len(todo) {
 		workers = len(todo)
 	}
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-		next     int
-	)
-	results := make(map[runKey]core.Results, len(todo))
+
+	type outcome struct {
+		key runKey
+		res core.Results
+		err error
+	}
+	jobs := make(chan pair)
+	results := make(chan outcome)
+	abort := make(chan struct{}) // closed on first error: stops dispatch
+
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				mu.Lock()
-				if next >= len(todo) || firstErr != nil {
-					mu.Unlock()
-					return
-				}
-				p := todo[next]
-				next++
-				mu.Unlock()
+			for p := range jobs {
 				res, err := core.Simulate(r.params(p.cfg, p.wl))
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("%s/%s: %w", p.cfg.Label(), p.wl.Name, err)
+				if err != nil {
+					err = fmt.Errorf("%s/%s: %w", p.cfg.Label(), p.wl.Name, err)
 				}
-				results[r.key(p.cfg, p.wl)] = res
-				mu.Unlock()
+				results <- outcome{key: r.key(p.cfg, p.wl), res: res, err: err}
 			}
 		}()
 	}
-	wg.Wait()
+	go func() { // dispatcher
+		defer close(jobs)
+		for _, p := range todo {
+			select {
+			case jobs <- p:
+			case <-abort:
+				return
+			}
+		}
+	}()
+	go func() { // close results once all workers drain
+		wg.Wait()
+		close(results)
+	}()
+
+	var firstErr error
+	done := make(map[runKey]core.Results, len(todo))
+	for o := range results {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+				close(abort)
+			}
+			continue
+		}
+		done[o.key] = o.res
+	}
 	if firstErr != nil {
 		return firstErr
 	}
-	for k, v := range results {
+	for k, v := range done {
 		r.cache[k] = v
 	}
 	return nil

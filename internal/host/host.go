@@ -95,9 +95,20 @@ type Port struct {
 	wfNext uint64
 	wfFill int
 
-	staged       *workload.Tx
+	staged       workload.Tx
+	hasStaged    bool
 	stagedArrive sim.Time
 	lastArrive   sim.Time
+
+	// pool recycles retired transaction packets; with it, steady-state
+	// injection performs no packet allocation.
+	pool packet.Pool
+
+	// Bound callbacks, built once so Kick/armTimer/retireSlots schedule
+	// without per-call closure allocations.
+	pumpFn   sim.Handler
+	timerFn  sim.Handler
+	retireFn sim.ArgHandler
 
 	// Coherence ordering point state.
 	pendingWrites map[uint64]int
@@ -137,7 +148,7 @@ func New(eng *sim.Engine, cfg Config, gen workload.Generator, wire Wiring, colle
 	if cfg.ShortcutWindow <= 0 {
 		cfg.ShortcutWindow = 64
 	}
-	return &Port{
+	p := &Port{
 		eng:           eng,
 		cfg:           cfg,
 		gen:           gen,
@@ -150,6 +161,19 @@ func New(eng *sim.Engine, cfg Config, gen workload.Generator, wire Wiring, colle
 		wfSize:        make(map[uint64]int),
 		wfOf:          make(map[uint64]uint64),
 	}
+	p.pumpFn = func() {
+		p.kickPending = false
+		p.pump()
+	}
+	p.timerFn = func() {
+		p.timerSet = false
+		p.pump()
+	}
+	p.retireFn = func(arg any) {
+		p.inflight -= arg.(int)
+		p.Kick()
+	}
+	return p
 }
 
 // Attach wires the port's outgoing direction (toward the root cube) and
@@ -164,23 +188,31 @@ func (p *Port) Attach(out *link.Direction) {
 // ample), so the caller should return the link credit right after.
 // Network statistics are recorded at arrival; the window slot and any
 // coherence entry are released only after the processor-side latency.
+//
+// Receive takes ownership of pk and returns it to the port's packet
+// pool: the caller must read any header fields it needs (e.g. the VC for
+// the credit return) before calling.
 func (p *Port) Receive(pk *packet.Packet) {
 	pk.Completed = p.eng.Now()
 	p.collector.Complete(pk)
+	kind, id, logical := pk.Kind, pk.ID, pk.Logical
+	// The transaction is retired: every consumer below works from the
+	// copied header fields, so the packet can recycle immediately.
+	p.pool.Put(pk)
 	// Coherence state releases as soon as the ack is visible at the
 	// ordering point, independent of wavefront retirement. State is
 	// keyed by the logical address (migration may have moved the data).
-	if pk.Kind == packet.WriteAck {
-		p.releaseWrite(pk.Logical &^ 63)
+	if kind == packet.WriteAck {
+		p.releaseWrite(logical &^ 63)
 	}
 	if p.cfg.WavefrontSize > 1 {
-		if pk.Kind == packet.WriteAck {
+		if kind == packet.WriteAck {
 			// Stores retire individually: they never gate a wavefront.
 			p.retireSlots(1)
 			return
 		}
-		wf := p.wfOf[pk.ID]
-		delete(p.wfOf, pk.ID)
+		wf := p.wfOf[id]
+		delete(p.wfOf, id)
 		p.wfLeft[wf]--
 		if p.wfLeft[wf] > 0 {
 			p.Kick() // coherence release may have unblocked reads
@@ -198,10 +230,9 @@ func (p *Port) Receive(pk *packet.Packet) {
 // retireSlots frees n window slots after the processor-side latency.
 func (p *Port) retireSlots(n int) {
 	if p.cfg.HostLatency > 0 {
-		p.eng.Schedule(p.cfg.HostLatency, func() {
-			p.inflight -= n
-			p.Kick()
-		})
+		// n is a small int, so boxing it into the event argument is
+		// allocation-free (runtime small-integer interning).
+		p.eng.ScheduleArg(p.cfg.HostLatency, p.retireFn, n)
 		return
 	}
 	p.inflight -= n
@@ -244,10 +275,7 @@ func (p *Port) Kick() {
 		return
 	}
 	p.kickPending = true
-	p.eng.Schedule(0, func() {
-		p.kickPending = false
-		p.pump()
-	})
+	p.eng.Schedule(0, p.pumpFn)
 }
 
 // pump injects as many transactions as the window, link credits, arrival
@@ -277,11 +305,12 @@ func (p *Port) pump() {
 			p.inject(pr.tx, pr.arrive)
 			continue
 		}
-		// Stage the next generated transaction.
-		if p.staged == nil {
-			tx := p.gen.Next()
-			p.staged = &tx
-			p.lastArrive += tx.Gap
+		// Stage the next generated transaction (held by value: staging
+		// must not allocate per transaction).
+		if !p.hasStaged {
+			p.staged = p.gen.Next()
+			p.hasStaged = true
+			p.lastArrive += p.staged.Gap
 			p.stagedArrive = p.lastArrive
 		}
 		now := p.eng.Now()
@@ -289,7 +318,7 @@ func (p *Port) pump() {
 			p.armTimer(p.stagedArrive)
 			return
 		}
-		tx := *p.staged
+		tx := p.staged
 		if p.cfg.ReadyAt != nil {
 			if at := p.cfg.ReadyAt(tx.Addr); at > now {
 				// The block is mid-migration; hold injection until the
@@ -304,13 +333,13 @@ func (p *Port) pump() {
 			p.parks++
 			p.parkedReads[blk] = append(p.parkedReads[blk],
 				parked{tx: tx, since: now, arrive: p.stagedArrive})
-			p.staged = nil
+			p.hasStaged = false
 			continue
 		}
 		if !p.out.CanAccept(packet.VCRequest) {
 			return
 		}
-		p.staged = nil
+		p.hasStaged = false
 		p.inject(tx, p.stagedArrive)
 	}
 }
@@ -337,7 +366,8 @@ func (p *Port) inject(tx workload.Tx, arrive sim.Time) {
 	dst := p.wire.DestOf(physAddr)
 	class := topology.ClassOf(kind, p.WriteShortcut())
 	p.nextID++
-	pk := &packet.Packet{
+	pk := p.pool.Get()
+	*pk = packet.Packet{
 		ID:           p.nextID,
 		Kind:         kind,
 		Src:          packet.HostNode,
@@ -400,8 +430,5 @@ func (p *Port) armTimer(at sim.Time) {
 		return
 	}
 	p.timerSet = true
-	p.eng.At(at, func() {
-		p.timerSet = false
-		p.pump()
-	})
+	p.eng.At(at, p.timerFn)
 }

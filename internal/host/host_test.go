@@ -30,13 +30,15 @@ func (s *scripted) Next() workload.Tx {
 // echoNet wires a port to a synthetic network that responds to every
 // request after a fixed latency.
 type echoNet struct {
-	eng      *sim.Engine
-	port     *Port
-	col      *stats.Collector
-	out      *link.Direction
-	back     *link.Direction
-	latency  sim.Time
-	received []*packet.Packet
+	eng     *sim.Engine
+	port    *Port
+	col     *stats.Collector
+	out     *link.Direction
+	back    *link.Direction
+	latency sim.Time
+	// received snapshots each completed packet at response delivery,
+	// just before Receive recycles it into the port's pool.
+	received []packet.Packet
 }
 
 func newEchoNet(t *testing.T, cfg Config, gen workload.Generator, latency sim.Time) *echoNet {
@@ -60,7 +62,6 @@ func newEchoNet(t *testing.T, cfg Config, gen workload.Generator, latency sim.Ti
 	n.back = link.New(eng, lcfg, nil)
 	n.port.Attach(n.out)
 	n.out.SetDeliver(func(p *packet.Packet) {
-		n.received = append(n.received, p)
 		n.out.ReturnCredit(packet.VCOf(p.Kind))
 		// Respond after the fixed service latency.
 		eng.Schedule(n.latency, func() {
@@ -75,8 +76,12 @@ func newEchoNet(t *testing.T, cfg Config, gen workload.Generator, latency sim.Ti
 		})
 	})
 	n.back.SetDeliver(func(p *packet.Packet) {
+		// Receive consumes (and recycles) the packet: snapshot it and
+		// read the VC first.
+		n.received = append(n.received, *p)
+		vc := packet.VCOf(p.Kind)
 		n.port.Receive(p)
-		n.back.ReturnCredit(packet.VCOf(p.Kind))
+		n.back.ReturnCredit(vc)
 	})
 	eng.Schedule(0, n.port.Kick)
 	return n
@@ -342,9 +347,9 @@ func TestMigrationHooks(t *testing.T) {
 	}
 	// The blacked-out transaction injected no earlier than its ReadyAt.
 	var blocked *packet.Packet
-	for _, p := range n.received {
-		if p.Logical == 0x2000 {
-			blocked = p
+	for i := range n.received {
+		if n.received[i].Logical == 0x2000 {
+			blocked = &n.received[i]
 		}
 	}
 	if blocked == nil || blocked.Injected < 500*sim.Nanosecond {

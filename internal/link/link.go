@@ -82,6 +82,11 @@ type Direction struct {
 	pumpScheduled bool
 	lastVC        packet.VC // round-robin state when NoVCPriority
 
+	// pumpFn and arriveFn are bound once at construction so the per-packet
+	// hot path schedules them without allocating a closure.
+	pumpFn   sim.Handler
+	arriveFn sim.ArgHandler
+
 	stats Stats
 }
 
@@ -103,6 +108,11 @@ func New(eng *sim.Engine, cfg Config, meter Meter) *Direction {
 	for vc := range d.credits {
 		d.credits[vc] = cfg.Credits
 	}
+	d.pumpFn = func() {
+		d.pumpScheduled = false
+		d.pump()
+	}
+	d.arriveFn = d.arrive
 	return d
 }
 
@@ -153,10 +163,7 @@ func (d *Direction) pump() {
 	now := d.eng.Now()
 	if !d.wire.Idle(now) {
 		d.pumpScheduled = true
-		d.eng.At(d.wire.FreeAt(), func() {
-			d.pumpScheduled = false
-			d.pump()
-		})
+		d.eng.At(d.wire.FreeAt(), d.pumpFn)
 		return
 	}
 	vc, ok := d.pickVC()
@@ -218,17 +225,21 @@ func (d *Direction) transmit(vc packet.VC) {
 	d.stats.Sent[vc]++
 	d.stats.BitsSent += uint64(bits)
 
-	p := e.p
-	arrive := end + d.cfg.SerDesLatency
-	d.eng.At(arrive, func() {
-		if d.cfg.CountHop {
-			p.Hops++
-			d.meter.Hop(bits)
-		}
-		d.deliver(p)
-	})
+	d.eng.AtArg(end+d.cfg.SerDesLatency, d.arriveFn, e.p)
 
 	if d.onSpace != nil {
 		d.onSpace(vc)
 	}
+}
+
+// arrive lands a packet at the receiver after serialization + SerDes
+// latency. It is scheduled through the bound arriveFn with the packet as
+// the event argument (no per-packet closure).
+func (d *Direction) arrive(arg any) {
+	p := arg.(*packet.Packet)
+	if d.cfg.CountHop {
+		p.Hops++
+		d.meter.Hop(p.Kind.Bits())
+	}
+	d.deliver(p)
 }

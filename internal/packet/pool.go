@@ -1,0 +1,37 @@
+package packet
+
+// Pool is a free list of Packets for one simulation instance. A packet
+// is allocated once per transaction at injection, mutated in place as it
+// moves (request -> response via MakeResponse), and returned to the pool
+// when the host retires the transaction, so steady-state forwarding
+// performs no packet allocation at all.
+//
+// Pool is intentionally not safe for concurrent use: a simulation is a
+// single-goroutine program and each Engine owns its own Pool. Parallel
+// experiment runs use independent instances (and therefore independent
+// pools), which keeps the free list lock-free.
+type Pool struct {
+	free []*Packet
+}
+
+// Get returns a zeroed packet, reusing a retired one when available.
+func (pl *Pool) Get() *Packet {
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		return p
+	}
+	return new(Packet)
+}
+
+// Put recycles a retired packet. The packet is zeroed immediately so a
+// stale timestamp or address can never leak into its next transaction,
+// and the caller must not retain the pointer.
+func (pl *Pool) Put(p *Packet) {
+	*p = Packet{}
+	pl.free = append(pl.free, p)
+}
+
+// Free reports the current free-list depth (for tests and stats).
+func (pl *Pool) Free() int { return len(pl.free) }

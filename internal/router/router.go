@@ -54,6 +54,11 @@ type Router struct {
 	sweepStart int
 
 	sweepPending bool
+	// sweepFn and retryFn are bound once at construction; Kick and
+	// armRetry fire constantly on the forwarding path, and a pre-built
+	// handler keeps each of those schedules allocation-free.
+	sweepFn sim.Handler
+	retryFn sim.Handler
 	// Forwarded counts packets moved input->output, per VC.
 	Forwarded [packet.NumVCs]uint64
 	// Contended counts arbitration decisions with more than one
@@ -65,7 +70,16 @@ type Router struct {
 // AttachPort. switchBps is the centralized switch's internal bandwidth
 // (0 disables crossbar modeling, giving an ideal switch).
 func New(eng *sim.Engine, node packet.NodeID, policy arb.Policy, switchBps int64) *Router {
-	return &Router{eng: eng, node: node, policy: policy, switchBps: switchBps}
+	r := &Router{eng: eng, node: node, policy: policy, switchBps: switchBps}
+	r.sweepFn = func() {
+		r.sweepPending = false
+		r.sweep()
+	}
+	r.retryFn = func() {
+		r.retryArmed = false
+		r.sweep()
+	}
+	return r
 }
 
 // SetRoute installs the routing function. Must be called before traffic
@@ -112,10 +126,7 @@ func (r *Router) Kick() {
 		return
 	}
 	r.sweepPending = true
-	r.eng.Schedule(0, func() {
-		r.sweepPending = false
-		r.sweep()
-	})
+	r.eng.Schedule(0, r.sweepFn)
 }
 
 // sweep moves as many packets as buffers, credits, crossbar bandwidth,
@@ -190,10 +201,7 @@ func (r *Router) armRetry() {
 		return
 	}
 	r.retryArmed = true
-	r.eng.At(r.crossbar.FreeAt(), func() {
-		r.retryArmed = false
-		r.sweep()
-	})
+	r.eng.At(r.crossbar.FreeAt(), r.retryFn)
 }
 
 // TotalInputWait sums the input-buffer residency across ports — the

@@ -1,0 +1,67 @@
+package sim
+
+import "testing"
+
+func TestResourceReserveAtExactlyFree(t *testing.T) {
+	var r Resource
+	end := r.ReserveAt(0, 10)
+	if end != 10 || r.FreeAt() != 10 {
+		t.Fatalf("end=%v freeAt=%v, want 10", end, r.FreeAt())
+	}
+	// Reserving at exactly FreeAt is legal: the interval is half-open.
+	end = r.ReserveAt(10, 5)
+	if end != 15 || r.FreeAt() != 15 {
+		t.Fatalf("back-to-back ReserveAt: end=%v freeAt=%v, want 15", end, r.FreeAt())
+	}
+	// One tick earlier must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReserveAt before FreeAt did not panic")
+		}
+	}()
+	r.ReserveAt(14, 1)
+}
+
+func TestResourceReserveNonPositive(t *testing.T) {
+	var r Resource
+	r.Reserve(0, 100)
+	// Zero duration: reports the earliest free time, reserves nothing.
+	start, end := r.Reserve(50, 0)
+	if start != 100 || end != 100 {
+		t.Fatalf("zero-dur Reserve = (%v, %v), want (100, 100)", start, end)
+	}
+	if r.FreeAt() != 100 {
+		t.Fatalf("zero-dur Reserve moved FreeAt to %v", r.FreeAt())
+	}
+	// Negative duration likewise must not rewind the resource.
+	start, end = r.Reserve(50, -7)
+	if start != 100 || end != 100 || r.FreeAt() != 100 {
+		t.Fatalf("negative-dur Reserve = (%v, %v), FreeAt=%v", start, end, r.FreeAt())
+	}
+	// Idle agrees with FreeAt on both sides of the boundary.
+	if r.Idle(99) {
+		t.Fatal("Idle(99) with FreeAt=100")
+	}
+	if !r.Idle(100) {
+		t.Fatal("!Idle(100) with FreeAt=100")
+	}
+}
+
+func TestResourceResetReuse(t *testing.T) {
+	var r Resource
+	r.Reserve(0, 1000)
+	r.Reset()
+	if r.FreeAt() != 0 || !r.Idle(0) {
+		t.Fatalf("after Reset: FreeAt=%v Idle(0)=%v", r.FreeAt(), r.Idle(0))
+	}
+	// A fresh reservation after Reset behaves exactly like a new resource:
+	// starting in the past is clamped to now, back-to-back packs tightly.
+	start, end := r.Reserve(5, 10)
+	if start != 5 || end != 15 {
+		t.Fatalf("post-Reset Reserve = (%v, %v), want (5, 15)", start, end)
+	}
+	start, end = r.Reserve(5, 10)
+	if start != 15 || end != 25 {
+		t.Fatalf("post-Reset queued Reserve = (%v, %v), want (15, 25)", start, end)
+	}
+}

@@ -63,7 +63,12 @@ type Quadrant struct {
 	done        []*packet.Packet
 
 	pumpPending bool
-	stats       Stats
+	// pumpFn and completeFn are bound once at construction so the
+	// per-request hot path (kick per arrival, completion per bank access)
+	// schedules without allocating closures.
+	pumpFn     sim.Handler
+	completeFn sim.ArgHandler
+	stats      Stats
 }
 
 // Config bundles quadrant construction parameters.
@@ -102,6 +107,11 @@ func New(eng *sim.Engine, cfg Config) *Quadrant {
 		offset := sim.Time(cfg.Index*cfg.Banks+i) * 97 * sim.Nanosecond
 		q.banks[i] = mem.NewBank(cfg.Tech, cfg.Timing, offset)
 	}
+	q.pumpFn = func() {
+		q.pumpPending = false
+		q.pump()
+	}
+	q.completeFn = func(arg any) { q.complete(arg.(*packet.Packet)) }
 	return q
 }
 
@@ -150,10 +160,7 @@ func (q *Quadrant) kick() {
 		return
 	}
 	q.pumpPending = true
-	q.eng.Schedule(0, func() {
-		q.pumpPending = false
-		q.pump()
-	})
+	q.eng.Schedule(0, q.pumpFn)
 }
 
 // pump advances both ends of the quadrant pipeline: emit completed
@@ -196,7 +203,7 @@ func (q *Quadrant) start(p *packet.Packet) {
 	q.inflight++
 	done := q.banks[bank].Access(start, row, kind)
 	q.meter.Access(q.tech, kind == mem.Write, AccessBits)
-	q.eng.At(done, func() { q.complete(p) })
+	q.eng.AtArg(done, q.completeFn, p)
 }
 
 // complete converts the finished request into a response and emits it,

@@ -24,7 +24,7 @@ import (
 func main() {
 	var (
 		expFlag = flag.String("exp", "all",
-			"comma-separated: table1,table2,fig4,fig5,fig7,fig10,fig11,fig12,fig13,fig14,fig15,mesh or all")
+			"comma-separated: table1,table2,fig4,fig5,fig7,fig10,fig11,fig12,fig13,fig14,fig15,mesh,resilience or all")
 		quick   = flag.Bool("quick", false, "reduced trace length for a fast pass")
 		txns    = flag.Uint64("txns", 0, "override transactions per run")
 		seed    = flag.Uint64("seed", 1, "workload seed")
@@ -73,6 +73,7 @@ func main() {
 		{"fig14", runner.Fig14},
 		{"fig15", runner.Fig15},
 		{"mesh", runner.ExtMesh},
+		{"resilience", runner.Resilience},
 	}
 
 	want := map[string]bool{}

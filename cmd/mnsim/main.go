@@ -12,7 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"memnet"
 	"memnet/internal/prof"
@@ -31,6 +33,12 @@ func main() {
 		capTB     = flag.Int("capacity-tb", 2, "total memory capacity in TB")
 		verbose   = flag.Bool("v", false, "print per-component detail")
 		failLink  = flag.Int("fail-link", -1, "fail the topology edge with this index (RAS experiment)")
+		faultSeed = flag.Uint64("fault-seed", 0, "seed for the fault-injection RNG streams (default 1)")
+		linkBER   = flag.Float64("link-ber", 0, "per-bit link error rate; corrupted packets retry (e.g. 1e-6)")
+		maxRetry  = flag.Int("max-retries", 0, "drop a packet after this many retries (0 = retry forever)")
+		killCube  = flag.String("kill-cube", "", "kill cubes mid-run: N@T[!] (…!: router too), e.g. 4@1us,5@2us!")
+		killLink  = flag.String("kill-link-at", "", "sever links mid-run: EDGE@T, e.g. 2@1us")
+		failLanes = flag.String("fail-lanes-at", "", "halve link bandwidth mid-run: EDGE@T, e.g. 0@500ns")
 		recordTo  = flag.String("record-trace", "", "write the generated transaction trace to this file")
 		replayFrm = flag.String("replay-trace", "", "drive the run from a recorded trace file")
 		traceN    = flag.Int("trace", 0, "print the last N packet lifecycle events")
@@ -71,6 +79,8 @@ func main() {
 	if *failLink >= 0 {
 		cfg.FailLinks = []int{*failLink}
 	}
+	cfg.Fault, err = parseFault(*faultSeed, *linkBER, *maxRetry, *killCube, *killLink, *failLanes)
+	check(err)
 	if *recordTo != "" {
 		cfg.Record = true
 	}
@@ -97,6 +107,12 @@ func main() {
 		res.Reads, res.Writes, res.MeanHops)
 	fmt.Printf("energy        %.1f uJ network | %.1f uJ read | %.1f uJ write\n",
 		res.Energy.NetworkPJ/1e6, res.Energy.ReadPJ/1e6, res.Energy.WritePJ/1e6)
+	if f := res.Fault; f.Any() {
+		fmt.Printf("fault         crc=%d retries=%d dropped=%d rerouted=%d bounced=%d rehomed=%d\n",
+			f.CRCErrors, f.Retries, f.Dropped, f.Rerouted, f.Bounced, f.Rehomed)
+		fmt.Printf("              lane-fails=%d links-killed=%d cubes-killed=%d\n",
+			f.LaneFails, f.LinksKilled, f.CubesKilled)
+	}
 	if *recordTo != "" {
 		f, err := os.Create(*recordTo)
 		check(err)
@@ -148,6 +164,68 @@ func parseArb(s string) (memnet.Arbitration, error) {
 	default:
 		return 0, fmt.Errorf("unknown arbitration %q", s)
 	}
+}
+
+// parseFault assembles the fault configuration from the CLI knobs, or
+// returns nil when none is set.
+func parseFault(seed uint64, ber float64, maxRetries int, cubes, links, lanes string) (*memnet.FaultConfig, error) {
+	fc := &memnet.FaultConfig{Seed: seed, LinkBER: ber, MaxRetries: maxRetries}
+	for _, spec := range splitSpecs(cubes) {
+		full := strings.HasSuffix(spec, "!")
+		n, at, err := parseAt(strings.TrimSuffix(spec, "!"))
+		if err != nil {
+			return nil, fmt.Errorf("-kill-cube %q: %w", spec, err)
+		}
+		fc.KillCubes = append(fc.KillCubes, memnet.CubeKill{Node: memnet.NodeID(n), At: at, Full: full})
+	}
+	for _, spec := range splitSpecs(links) {
+		e, at, err := parseAt(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-kill-link-at %q: %w", spec, err)
+		}
+		fc.KillLinks = append(fc.KillLinks, memnet.LinkKill{Edge: e, At: at})
+	}
+	for _, spec := range splitSpecs(lanes) {
+		e, at, err := parseAt(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-fail-lanes-at %q: %w", spec, err)
+		}
+		fc.LaneFails = append(fc.LaneFails, memnet.LaneFail{Edge: e, At: at})
+	}
+	if !fc.Enabled() && seed == 0 {
+		return nil, nil
+	}
+	return fc, nil
+}
+
+func splitSpecs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseAt parses an "INDEX@DURATION" spec, e.g. "4@1us" or "2@1.5ms".
+func parseAt(spec string) (int, memnet.Time, error) {
+	idx, dur, ok := strings.Cut(spec, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("want INDEX@TIME (e.g. 4@1us)")
+	}
+	n, err := strconv.Atoi(idx)
+	if err != nil {
+		return 0, 0, err
+	}
+	d, err := time.ParseDuration(dur)
+	if err != nil {
+		return 0, 0, err
+	}
+	return n, memnet.Time(d.Nanoseconds()) * memnet.Nanosecond, nil
 }
 
 func check(err error) {

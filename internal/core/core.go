@@ -21,6 +21,7 @@ import (
 	"memnet/internal/arb"
 	"memnet/internal/config"
 	"memnet/internal/energy"
+	"memnet/internal/fault"
 	"memnet/internal/host"
 	"memnet/internal/link"
 	"memnet/internal/migrate"
@@ -133,7 +134,13 @@ type Params struct {
 	// link's loss would disconnect the network (chains and trees have no
 	// redundancy; rings, skip lists, and meshes reroute).
 	FailLinks []int
-	Tuning    Tuning
+	// Fault, when non-nil and enabled, arms the runtime fault-injection
+	// and resilience layer: link bit errors with retry, scheduled lane
+	// failures, link kills, cube kills with route-around and address
+	// re-homing, and the progress watchdog. A nil or disabled Fault
+	// leaves the simulation bit-identical to a build without it.
+	Fault  *fault.Config
+	Tuning Tuning
 }
 
 // Label renders the configuration the way the paper labels its bars,
@@ -164,9 +171,37 @@ type Instance struct {
 	// Trace is non-nil when Params.TraceDepth enabled event tracing.
 	Trace *trace.Log
 
+	// Watchdog is non-nil when Params.Fault armed the progress watchdog.
+	Watchdog *sim.Watchdog
+
 	routers   map[packet.NodeID]*router.Router
 	quadrants map[packet.NodeID][]*vault.Quadrant
+
+	// live is the routing graph the route closures consult; it starts as
+	// Graph and is swapped for a degraded (Disable) graph when a
+	// scheduled fault recomputes routes. Port indices are preserved
+	// across swaps, so the wired network never changes shape.
+	live *topology.Graph
+	// dirs holds the two directions of every external edge, indexed like
+	// Graph.Edges, for scheduled faults to down-bind or kill.
+	dirs []edgeDirs
+
+	// Fault plan, precomputed and validated at Build time: one entry per
+	// scheduled event; planGraphs[i] is the routing graph after event i
+	// (nil when routing is unchanged), planSpares[i] the re-home target
+	// of a cube kill.
+	faultCfg   fault.Config
+	planEvents []fault.Event
+	planGraphs []*topology.Graph
+	planSpares []packet.NodeID
+	// rehome maps a dead cube to the surviving cube now serving its
+	// address range (always fully collapsed: values are never dead).
+	rehome map[packet.NodeID]packet.NodeID
+	fc     stats.FaultCounters
 }
+
+// edgeDirs is the direction pair of one undirected edge.
+type edgeDirs struct{ ab, ba *link.Direction } // A->B, B->A
 
 // TechOrder returns the per-position cube technologies implied by the
 // system's DRAM fraction and placement. Position 0 is nearest the host.
@@ -281,6 +316,23 @@ func Build(p Params) (*Instance, error) {
 		Meter:     meter,
 		routers:   make(map[packet.NodeID]*router.Router),
 		quadrants: make(map[packet.NodeID][]*vault.Quadrant),
+		live:      g,
+		rehome:    make(map[packet.NodeID]packet.NodeID),
+	}
+
+	// Precompute and validate the fault plan: every scheduled fault's
+	// degraded routing graph and re-home target is built here, so an
+	// unsurvivable scenario (a chain cut, a Full cube kill with no
+	// redundancy, a kill leaving no memory) fails at Build, not mid-run.
+	faultOn := p.Fault.Enabled()
+	if faultOn {
+		inst.faultCfg = p.Fault.WithDefaults()
+		if err := inst.faultCfg.Validate(); err != nil {
+			return nil, err
+		}
+		if err := inst.planFaults(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Workload generator: per-port load scales inversely with the port
@@ -360,9 +412,16 @@ func Build(p Params) (*Instance, error) {
 			}
 		}(),
 	}, gen, host.Wiring{
-		DestOf: mapper.CubeOf,
+		DestOf: func(a uint64) packet.NodeID {
+			n := mapper.CubeOf(a)
+			if spare, ok := inst.rehome[n]; ok {
+				inst.fc.Rehomed++
+				return spare
+			}
+			return n
+		},
 		DistOf: func(dst packet.NodeID, class topology.PathClass) int {
-			return g.Dist(class, packet.HostNode, dst)
+			return inst.live.Dist(class, packet.HostNode, dst)
 		},
 	}, collector)
 	inst.Port = hostPort
@@ -408,7 +467,6 @@ func Build(p Params) (*Instance, error) {
 	ipLink.BandwidthBps *= int64(p.Tuning.InterposerBandwidthX)
 	ipLink.SerDesLatency = p.Tuning.InterposerSerDes
 
-	type edgeDirs struct{ ab, ba *link.Direction } // A->B, B->A
 	dirs := make([]edgeDirs, len(g.Edges))
 	for ei, e := range g.Edges {
 		cfg := extLink
@@ -419,7 +477,14 @@ func Build(p Params) (*Instance, error) {
 			ab: link.New(eng, cfg, meter),
 			ba: link.New(eng, cfg, meter),
 		}
+		// Bit errors afflict package-to-package SerDes channels; the
+		// wide parallel interposer traces inside a MetaCube are exempt.
+		if faultOn && !e.Interposer {
+			dirs[ei].ab.AttachFault(inst.faultCfg.LinkFault(ei, 0))
+			dirs[ei].ba.AttachFault(inst.faultCfg.LinkFault(ei, 1))
+		}
 	}
+	inst.dirs = dirs
 
 	for _, n := range g.Nodes {
 		if n.Kind == topology.Host {
@@ -474,7 +539,7 @@ func Build(p Params) (*Instance, error) {
 		node := n.ID
 		retDist := func(pk *packet.Packet) int {
 			// Responses travel the short (shortest-path) table.
-			return g.Dist(topology.PathShort, node, pk.Src)
+			return inst.live.Dist(topology.PathShort, node, pk.Src)
 		}
 		inflight := p.Tuning.VaultMaxInflight
 		if n.Tech == config.NVM && p.Tuning.NVMMaxInflight > 0 {
@@ -521,10 +586,18 @@ func Build(p Params) (*Instance, error) {
 		isCube := n.Kind == topology.Cube
 		inst.routers[node].SetRoute(func(pk *packet.Packet) int {
 			if isCube && pk.Dst == node {
-				_, quad, _, _ := mapper.Decompose(pk.Addr)
-				return extDeg + quad
+				if spare, ok := inst.rehome[node]; ok && pk.Kind.IsRequest() {
+					// This cube's memory died after the packet departed:
+					// bounce it to the spare now serving the address range.
+					pk.Dst = spare
+					pk.Distance = inst.live.Dist(topology.PathShort, packet.HostNode, spare)
+					inst.fc.Bounced++
+				} else {
+					_, quad, _, _ := mapper.Decompose(pk.Addr)
+					return extDeg + quad
+				}
 			}
-			port := g.NextPort(topology.PathClass(pk.Class), node, pk.Dst)
+			port := inst.live.NextPort(topology.PathClass(pk.Class), node, pk.Dst)
 			if port < 0 {
 				panic(fmt.Sprintf("core: no route from %d to %d", node, pk.Dst))
 			}
@@ -534,9 +607,152 @@ func Build(p Params) (*Instance, error) {
 
 	inst.Trace = tlog
 
+	// Arm the resilience machinery last so a disabled Fault config adds
+	// zero events and the golden determinism fingerprints stay intact.
+	if faultOn {
+		for i, ev := range inst.planEvents {
+			i := i
+			eng.At(ev.At, func() { inst.applyFault(i) })
+		}
+		inst.Watchdog = sim.NewWatchdog(eng,
+			inst.faultCfg.WatchdogInterval, inst.faultCfg.WatchdogStale,
+			collector.Completed,
+			func() bool { return hostPort.Inflight() > 0 })
+		inst.Watchdog.Arm()
+	}
+
 	// Prime the injection process.
 	eng.Schedule(0, hostPort.Kick)
 	return inst, nil
+}
+
+// planFaults validates the scheduled faults against the built topology
+// and precomputes, per event, the degraded routing graph and (for cube
+// kills) the re-home spare. Walks the schedule in time order carrying
+// the cumulative dead set, exactly as applyFault will at runtime.
+func (in *Instance) planFaults() error {
+	evs := in.faultCfg.Schedule()
+	in.planEvents = evs
+	in.planGraphs = make([]*topology.Graph, len(evs))
+	in.planSpares = make([]packet.NodeID, len(evs))
+
+	cur := in.Graph
+	deadCubes := make(map[packet.NodeID]bool)
+	for i, ev := range evs {
+		switch ev.Kind {
+		case fault.EvLaneFail:
+			if ev.Edge >= len(in.Graph.Edges) {
+				return fmt.Errorf("core: lane failure on nonexistent edge %d", ev.Edge)
+			}
+			// Bandwidth halves; routing is untouched.
+		case fault.EvKillLink:
+			if ev.Edge >= len(in.Graph.Edges) {
+				return fmt.Errorf("core: kill of nonexistent edge %d", ev.Edge)
+			}
+			ng, err := cur.Disable([]int{ev.Edge}, nil)
+			if err != nil {
+				e := in.Graph.Edges[ev.Edge]
+				return fmt.Errorf("core: killing link %d (%d-%d) at %v: %w",
+					ev.Edge, e.A, e.B, ev.At, err)
+			}
+			cur, in.planGraphs[i] = ng, ng
+		case fault.EvKillCube:
+			if int(ev.Node) >= len(in.Graph.Nodes) ||
+				in.Graph.Nodes[ev.Node].Kind != topology.Cube {
+				return fmt.Errorf("core: kill target %d is not a memory cube", ev.Node)
+			}
+			if deadCubes[ev.Node] {
+				return fmt.Errorf("core: cube %d killed twice", ev.Node)
+			}
+			if ev.Full {
+				// The whole package dies: no transit either. Only
+				// redundant topologies survive this; Disable rejects the
+				// rest.
+				ng, err := cur.Disable(nil, []packet.NodeID{ev.Node})
+				if err != nil {
+					return fmt.Errorf("core: full kill of cube %d at %v: %w",
+						ev.Node, ev.At, err)
+				}
+				cur, in.planGraphs[i] = ng, ng
+			}
+			deadCubes[ev.Node] = true
+			spare, err := nearestSurvivor(cur, ev.Node, deadCubes)
+			if err != nil {
+				return fmt.Errorf("core: killing cube %d at %v: %w", ev.Node, ev.At, err)
+			}
+			in.planSpares[i] = spare
+		}
+	}
+	return nil
+}
+
+// nearestSurvivor picks the deterministic re-home target for a dead
+// cube: the surviving cube nearest to it on the degraded graph, ties
+// broken toward the lowest node ID.
+func nearestSurvivor(g *topology.Graph, victim packet.NodeID, dead map[packet.NodeID]bool) (packet.NodeID, error) {
+	best, bestDist := packet.NodeID(-1), -1
+	for _, id := range g.CubeIDs() {
+		if dead[id] {
+			continue
+		}
+		d := g.Dist(topology.PathShort, victim, id)
+		if d < 0 {
+			continue
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = id, d
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("no surviving cube to re-home onto")
+	}
+	return best, nil
+}
+
+// applyFault fires scheduled fault i at its simulated time: swap in the
+// precomputed route tables, kill or degrade the hardware, update the
+// re-home map, and kick every router so stranded heads re-arbitrate
+// under the new tables.
+func (in *Instance) applyFault(i int) {
+	ev := in.planEvents[i]
+	switch ev.Kind {
+	case fault.EvLaneFail:
+		in.dirs[ev.Edge].ab.Downbind()
+		in.dirs[ev.Edge].ba.Downbind()
+		in.fc.LaneFails++
+		return // no routing change, no kicks needed
+	case fault.EvKillLink:
+		in.live = in.planGraphs[i]
+		e := in.Graph.Edges[ev.Edge]
+		// Drain each direction's queued and retrying packets back into
+		// the router at its sending end for re-routing. The host edge
+		// cannot be killed (it always disconnects), so both ends route.
+		ra, rb := in.routers[e.A], in.routers[e.B]
+		in.dirs[ev.Edge].ab.Fail(func(p *packet.Packet) { ra.Reinject(p) })
+		in.dirs[ev.Edge].ba.Fail(func(p *packet.Packet) { rb.Reinject(p) })
+		in.fc.LinksKilled++
+	case fault.EvKillCube:
+		if g := in.planGraphs[i]; g != nil {
+			in.live = g
+		}
+		spare := in.planSpares[i]
+		// Collapse chains: victims previously re-homed onto this cube
+		// move with it, so lookups stay single-level.
+		for k, v := range in.rehome {
+			if v == ev.Node {
+				in.rehome[k] = spare
+			}
+		}
+		in.rehome[ev.Node] = spare
+		in.fc.CubesKilled++
+	}
+	// Kick in deterministic node order: sweep scheduling order is part
+	// of the reproducibility guarantee for faulty runs.
+	for _, n := range in.Graph.Nodes {
+		if r := in.routers[n.ID]; r != nil {
+			r.Kick()
+		}
+	}
 }
 
 // techBiasHops converts the NVM-vs-DRAM read latency gap into
@@ -583,6 +799,9 @@ type Results struct {
 	// Events is the number of simulation events executed (a cost and
 	// determinism fingerprint).
 	Events uint64
+	// Fault aggregates the resilience layer's counters; all-zero when
+	// fault injection is disabled.
+	Fault stats.FaultCounters
 }
 
 // Run executes the instance until the host completes its trace. It
@@ -594,8 +813,19 @@ func (in *Instance) Run() (Results, error) {
 		if in.Eng.Now() > horizon {
 			return false
 		}
+		if in.Watchdog != nil && in.Watchdog.Tripped() {
+			return false
+		}
 		return !in.Port.Done()
 	})
+	if in.Watchdog != nil && in.Watchdog.Tripped() {
+		return Results{}, fmt.Errorf(
+			"core: watchdog: no forward progress over %v with packets in flight in %s/%s (%d/%d transactions at %v)\n%s",
+			sim.Time(in.faultCfg.WatchdogStale)*in.faultCfg.WatchdogInterval,
+			in.Params.Label(), in.Params.Workload.Name,
+			in.Collector.Completed(), in.Params.Transactions, in.Eng.Now(),
+			in.WedgeDump())
+	}
 	if !progressed && !in.Port.Done() {
 		return Results{}, fmt.Errorf(
 			"core: deadlock in %s/%s: %d/%d transactions after %v",
@@ -618,7 +848,28 @@ func (in *Instance) Run() (Results, error) {
 		Writes:       in.Collector.Writes(),
 		MeanHops:     in.Collector.MeanHops(),
 		Events:       in.Eng.Fired(),
+		Fault:        in.FaultCounters(),
 	}, nil
+}
+
+// FaultCounters aggregates the run's resilience counters from the core
+// bookkeeping, every external link direction, and every router.
+func (in *Instance) FaultCounters() stats.FaultCounters {
+	fc := in.fc
+	for _, d := range in.dirs {
+		for _, dir := range [2]*link.Direction{d.ab, d.ba} {
+			s := dir.Stats()
+			fc.CRCErrors += s.CRCErrors
+			fc.Retries += s.Retries
+			fc.Dropped += s.Dropped
+		}
+	}
+	for _, n := range in.Graph.Nodes {
+		if r := in.routers[n.ID]; r != nil {
+			fc.Rerouted += r.Rerouted
+		}
+	}
+	return fc
 }
 
 // Simulate is the one-call convenience: build and run.

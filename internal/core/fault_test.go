@@ -1,0 +1,264 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"memnet/internal/arb"
+	"memnet/internal/config"
+	"memnet/internal/fault"
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+func faultParams(t *testing.T, topo topology.Kind, fc *fault.Config) Params {
+	t.Helper()
+	var wl workload.Spec
+	for _, s := range workload.Suite() {
+		if s.Name == "KMEANS" {
+			wl = s
+		}
+	}
+	if wl.Name == "" {
+		t.Fatal("KMEANS workload missing")
+	}
+	return Params{
+		Sys:          config.Default(),
+		Topo:         topo,
+		Arb:          arb.RoundRobin,
+		Workload:     wl,
+		Transactions: 800,
+		Seed:         7,
+		Fault:        fc,
+	}
+}
+
+// TestFaultDisabledIsNoop: a present-but-disabled fault config must be
+// bit-identical to no fault config at all — same Results, same event
+// count (the determinism fingerprint).
+func TestFaultDisabledIsNoop(t *testing.T) {
+	base := faultParams(t, topology.Ring, nil)
+	with := base
+	with.Fault = &fault.Config{Seed: 99} // a seed alone enables nothing
+	a, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("disabled fault layer perturbed the run:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+// TestFaultDeterminism: the same faulty scenario replayed with the same
+// fault seed produces identical Results, counters included.
+func TestFaultDeterminism(t *testing.T) {
+	p := faultParams(t, topology.Ring, &fault.Config{
+		Seed:      3,
+		LinkBER:   2e-6,
+		KillLinks: []fault.LinkKill{{Edge: 3, At: 1500 * sim.Nanosecond}},
+		LaneFails: []fault.LaneFail{{Edge: 1, At: 800 * sim.Nanosecond}},
+	})
+	a, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same fault seed, different results:\n a: %+v\n b: %+v", a, b)
+	}
+	if a.Fault.CRCErrors == 0 || a.Fault.Retries == 0 {
+		t.Errorf("BER=2e-6 produced no link errors: %+v", a.Fault)
+	}
+	if a.Fault.LinksKilled != 1 || a.Fault.LaneFails != 1 {
+		t.Errorf("scheduled faults not applied: %+v", a.Fault)
+	}
+}
+
+// TestFaultSeedMatters: a different fault seed draws different errors.
+func TestFaultSeedMatters(t *testing.T) {
+	p := faultParams(t, topology.Tree, &fault.Config{Seed: 1, LinkBER: 1e-5})
+	q := p
+	q.Fault = &fault.Config{Seed: 2, LinkBER: 1e-5}
+	a, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fault.CRCErrors == b.Fault.CRCErrors && a.FinishTime == b.FinishTime {
+		t.Errorf("fault seeds 1 and 2 indistinguishable: %+v vs %+v", a.Fault, b.Fault)
+	}
+}
+
+// TestKillMidChainCubeCompletes: killing a mid-chain cube's memory
+// mid-run re-homes its address range to the nearest survivor, bounces
+// in-flight packets, and the run still completes every transaction.
+func TestKillMidChainCubeCompletes(t *testing.T) {
+	p := faultParams(t, topology.Chain, &fault.Config{
+		KillCubes: []fault.CubeKill{{Node: 4, At: sim.Microsecond}},
+	})
+	res, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transactions != p.Transactions {
+		t.Fatalf("completed %d/%d after cube kill", res.Transactions, p.Transactions)
+	}
+	if res.Fault.CubesKilled != 1 {
+		t.Fatalf("cube kill not applied: %+v", res.Fault)
+	}
+	if res.Fault.Rehomed+res.Fault.Bounced == 0 {
+		t.Fatalf("no traffic re-routed around the dead cube: %+v", res.Fault)
+	}
+}
+
+// TestKillRingLinkCompletes: severing a ring segment mid-run reroutes
+// the long way around and the run completes; a healthy baseline must be
+// at least as fast.
+func TestKillRingLinkCompletes(t *testing.T) {
+	healthy, err := Simulate(faultParams(t, topology.Ring, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := faultParams(t, topology.Ring, &fault.Config{
+		KillLinks: []fault.LinkKill{{Edge: 2, At: sim.Microsecond}},
+	})
+	res, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transactions != p.Transactions || res.Fault.LinksKilled != 1 {
+		t.Fatalf("link kill run incomplete: %+v", res.Fault)
+	}
+	if res.FinishTime < healthy.FinishTime {
+		t.Errorf("run got faster after losing a link: %v < %v", res.FinishTime, healthy.FinishTime)
+	}
+}
+
+// TestFullCubeKillRingCompletes: a Full kill (router too) on a ring
+// leaves a connected remnant; no route may transit the dead cube, yet
+// everything completes.
+func TestFullCubeKillRingCompletes(t *testing.T) {
+	p := faultParams(t, topology.Ring, &fault.Config{
+		KillCubes: []fault.CubeKill{{Node: 5, At: sim.Microsecond, Full: true}},
+	})
+	res, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transactions != p.Transactions || res.Fault.CubesKilled != 1 {
+		t.Fatalf("full cube kill run incomplete: %+v", res.Fault)
+	}
+}
+
+// TestLaneFailureDegrades: a lane failure halves one link's bandwidth;
+// the run completes and is no faster than the healthy baseline.
+func TestLaneFailureDegrades(t *testing.T) {
+	healthy, err := Simulate(faultParams(t, topology.Chain, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := faultParams(t, topology.Chain, &fault.Config{
+		LaneFails: []fault.LaneFail{{Edge: 0, At: 200 * sim.Nanosecond}},
+	})
+	res, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault.LaneFails != 1 || res.Transactions != p.Transactions {
+		t.Fatalf("lane failure run incomplete: %+v", res.Fault)
+	}
+	if res.FinishTime <= healthy.FinishTime {
+		t.Errorf("half-width host link did not slow the chain: %v vs %v",
+			res.FinishTime, healthy.FinishTime)
+	}
+}
+
+// TestUnsurvivableFaultsRejectedAtBuild: scenarios the topology cannot
+// route around fail at Build with a diagnostic, never mid-run.
+func TestUnsurvivableFaultsRejectedAtBuild(t *testing.T) {
+	cases := []struct {
+		name string
+		topo topology.Kind
+		fc   fault.Config
+	}{
+		{"chain link kill", topology.Chain,
+			fault.Config{KillLinks: []fault.LinkKill{{Edge: 3, At: sim.Microsecond}}}},
+		{"chain full cube kill", topology.Chain,
+			fault.Config{KillCubes: []fault.CubeKill{{Node: 4, At: sim.Microsecond, Full: true}}}},
+		{"host link kill", topology.Ring,
+			fault.Config{KillLinks: []fault.LinkKill{{Edge: 0, At: sim.Microsecond}}}},
+		{"nonexistent edge", topology.Ring,
+			fault.Config{KillLinks: []fault.LinkKill{{Edge: 999, At: sim.Microsecond}}}},
+		{"kill the host", topology.Ring,
+			fault.Config{KillCubes: []fault.CubeKill{{Node: packet.HostNode, At: sim.Microsecond}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fc := tc.fc
+			if _, err := Build(faultParams(t, tc.topo, &fc)); err == nil {
+				t.Fatalf("%s accepted at Build", tc.name)
+			}
+		})
+	}
+}
+
+// TestWatchdogCatchesRetryStorm: BER=1 corrupts every transmission
+// forever (unbounded retries), so no transaction ever completes; the
+// watchdog must fail the run fast with the queue/credit dump instead of
+// spinning to the 10 s horizon.
+func TestWatchdogCatchesRetryStorm(t *testing.T) {
+	p := faultParams(t, topology.Chain, &fault.Config{LinkBER: 1.0})
+	in, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = in.Run()
+	if err == nil {
+		t.Fatal("wedged run reported success")
+	}
+	if !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("wedge not attributed to watchdog: %v", err)
+	}
+	if !strings.Contains(err.Error(), "wedge dump") || !strings.Contains(err.Error(), "cred=") {
+		t.Fatalf("watchdog error lacks queue/credit diagnostic: %v", err)
+	}
+	// Failing fast means stopping within a few watchdog windows, not at
+	// the 10 s horizon.
+	if in.Eng.Now() > 10*sim.Millisecond {
+		t.Fatalf("watchdog took %v to trip", in.Eng.Now())
+	}
+	if in.FaultCounters().Retries == 0 {
+		t.Fatal("retry storm left no retry counters")
+	}
+}
+
+// TestDroppedPacketTripsWatchdog: with bounded retries the poisoned
+// packet is dropped; its transaction can never complete and the
+// watchdog reports the wedge.
+func TestDroppedPacketTripsWatchdog(t *testing.T) {
+	p := faultParams(t, topology.Chain, &fault.Config{LinkBER: 1.0, MaxRetries: 3})
+	in, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = in.Run()
+	if err == nil || !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("dropped packet did not trip the watchdog: %v", err)
+	}
+	if in.FaultCounters().Dropped == 0 {
+		t.Fatal("MaxRetries=3 at BER=1 dropped nothing")
+	}
+}

@@ -77,6 +77,46 @@ func (nr *NodeReport) RowHitRate() float64 {
 	return float64(nr.Banks.RowHits) / float64(total)
 }
 
+// WedgeDump renders the queue and credit state of the whole network —
+// the diagnostic the watchdog attaches when it declares the simulation
+// wedged. One line per node: each output port's queue occupancy,
+// remaining transmit credits per VC, retry-buffer depth, and whether the
+// port's link is dead, plus the router's input-buffer occupancies and
+// reroute backlog. The host's in-flight window count leads the dump.
+func (in *Instance) WedgeDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wedge dump at %v: %d in flight, %d completed\n",
+		in.Eng.Now(), in.Port.Inflight(), in.Collector.Completed())
+	for _, n := range in.Graph.Nodes {
+		r := in.routers[n.ID]
+		if r == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "node %d (%v):", n.ID, n.Kind)
+		if bl := r.RerouteBacklog(); bl > 0 {
+			fmt.Fprintf(&b, " reroute-backlog=%d", bl)
+		}
+		for i := 0; i < r.NumPorts(); i++ {
+			out := r.Output(i)
+			fmt.Fprintf(&b, " p%d[in=%d/%d", i,
+				r.InputBuffer(i).Len(packet.VCRequest),
+				r.InputBuffer(i).Len(packet.VCResponse))
+			fmt.Fprintf(&b, " outq=%d/%d cred=%d/%d",
+				out.QueueLen(packet.VCRequest), out.QueueLen(packet.VCResponse),
+				out.Credits(packet.VCRequest), out.Credits(packet.VCResponse))
+			if rl := out.RetryLen(); rl > 0 {
+				fmt.Fprintf(&b, " retry=%d", rl)
+			}
+			if out.Dead() {
+				b.WriteString(" DEAD")
+			}
+			b.WriteString("]")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
 // ReportText renders the per-node table for CLI consumption.
 func (in *Instance) ReportText() string {
 	var b strings.Builder

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// TestResilienceShape: the resilience sweep covers all four base
+// topologies across the BER ladder, slowdowns are finite, and no
+// topology speeds up under injected errors.
+func TestResilienceShape(t *testing.T) {
+	opts := QuickOptions()
+	opts.Transactions = 800
+	r := NewRunner(opts)
+	tab, err := r.Resilience()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("want 4 topology rows, got %d", len(tab.Rows))
+	}
+	if len(tab.Columns) != len(resilienceBERs) {
+		t.Fatalf("want %d BER columns, got %d", len(resilienceBERs), len(tab.Columns))
+	}
+	for _, row := range tab.Rows {
+		if len(row.Values) != len(tab.Columns) {
+			t.Fatalf("%s: ragged row", row.Label)
+		}
+		for i, v := range row.Values {
+			// A retried packet perturbs downstream arbitration and
+			// row-buffer interleaving, so tiny negative "slowdowns" are
+			// legitimate timing noise; only a substantial speedup would
+			// mean the error model is broken.
+			if v < -2.0 {
+				t.Errorf("%s at %s: injected errors sped the run up (%.3f%%)",
+					row.Label, tab.Columns[i], v)
+			}
+		}
+	}
+	// The steepest error rate must visibly slow at least one topology;
+	// otherwise the sweep is testing nothing.
+	worst := 0.0
+	for _, row := range tab.Rows {
+		if s := row.Values[len(row.Values)-1]; s > worst {
+			worst = s
+		}
+	}
+	if worst <= 0 {
+		t.Error("no topology slowed down at the steepest BER")
+	}
+}

@@ -1,0 +1,258 @@
+// Package fault is the deterministic fault-injection model for a memory
+// network: per-link transmission bit errors, SerDes lane failures with
+// HMC-style half-width down-binding, link deaths, and cube deaths, all
+// driven from one seed so that a faulty scenario replays bit-identically.
+//
+// The package owns only the *model* — probabilities, schedules, and the
+// per-link random streams. The mechanisms (the link-level retry buffer,
+// the route-table recomputation, the progress watchdog) live with the
+// components they protect, in internal/link, internal/topology, and
+// internal/sim; internal/core threads everything together.
+//
+// # Determinism guarantee
+//
+// Every link direction draws its CRC outcomes from its own xoshiro
+// stream, seeded by (Seed, edge index, direction). Draws therefore do
+// not depend on how traffic on different links interleaves, only on the
+// sequence of transmissions over that one direction — which the
+// single-threaded engine already fixes. Two runs with the same workload
+// seed and the same fault Config produce identical Results, counters
+// included. Scheduled faults (kills, lane failures) fire at exact
+// simulated times through the ordinary event queue.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+)
+
+// LinkKill fails one topology edge (both directions) at a simulated
+// time. The routing tables are recomputed around the dead edge; packets
+// queued on it are drained back into their router and re-routed.
+type LinkKill struct {
+	// Edge indexes the built topology's Edges slice.
+	Edge int
+	At   sim.Time
+}
+
+// CubeKill fails one memory cube at a simulated time. By default only
+// the memory dies: the logic die keeps switching (the standard HMC RAS
+// assumption), transit traffic is unaffected, and the cube's address
+// range is re-homed to the nearest surviving cube. Full additionally
+// removes the cube from every other node's route tables, so no path
+// transits it — only redundant topologies (ring, skip list, mesh)
+// survive a Full kill of a transit cube.
+type CubeKill struct {
+	Node packet.NodeID
+	At   sim.Time
+	Full bool
+}
+
+// LaneFail models a SerDes lane failure on one edge at a simulated
+// time: the link down-binds to half width (both directions), halving
+// BandwidthBps, as HMC links do rather than dying outright. Repeated
+// failures of the same edge quarter, eighth, ... the width.
+type LaneFail struct {
+	Edge int
+	At   sim.Time
+}
+
+// Config is the complete fault scenario for one run. The zero value
+// injects nothing; Enabled reports whether any knob is set.
+type Config struct {
+	// Seed drives every random fault stream. Zero means 1.
+	Seed uint64
+
+	// LinkBER is the per-bit transmission error probability on
+	// package-to-package SerDes links (interposer traces and cube-internal
+	// connections are exempt). A packet whose CRC check fails is held in
+	// the sender's retry buffer and retransmitted.
+	LinkBER float64
+
+	// MaxRetries bounds retransmissions of one packet; past it the packet
+	// is dropped (counted in link Stats.Dropped) and its transaction never
+	// completes — the watchdog's job to catch. Zero retries forever,
+	// which is the HMC guarantee.
+	MaxRetries int
+
+	// RetryBackoff is the base retransmission backoff, doubled per
+	// consecutive error on the same packet (capped at 64x). Zero means
+	// the 8 ns default.
+	RetryBackoff sim.Time
+
+	// Scheduled faults.
+	KillLinks []LinkKill
+	KillCubes []CubeKill
+	LaneFails []LaneFail
+
+	// Watchdog arms the progress watchdog even when no fault is
+	// configured (diagnosing a wedge in a fault-free scenario). The
+	// watchdog is always armed when any fault knob is set.
+	Watchdog bool
+	// WatchdogInterval is the progress-check period (default 50 µs of
+	// simulated time).
+	WatchdogInterval sim.Time
+	// WatchdogStale is how many consecutive no-progress intervals trip
+	// the watchdog (default 4).
+	WatchdogStale int
+}
+
+// Enabled reports whether the configuration injects any fault or arms
+// the watchdog. A disabled Config leaves the simulation bit-identical
+// to one with no Config at all.
+func (c *Config) Enabled() bool {
+	if c == nil {
+		return false
+	}
+	return c.LinkBER > 0 || len(c.KillLinks) > 0 || len(c.KillCubes) > 0 ||
+		len(c.LaneFails) > 0 || c.Watchdog
+}
+
+// WithDefaults returns a copy with zero-valued tunables replaced by
+// their defaults.
+func (c Config) WithDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 8 * sim.Nanosecond
+	}
+	if c.WatchdogInterval == 0 {
+		c.WatchdogInterval = 50 * sim.Microsecond
+	}
+	if c.WatchdogStale == 0 {
+		c.WatchdogStale = 4
+	}
+	return c
+}
+
+// Validate checks the scenario's internal consistency. Topology-aware
+// checks (edge ranges, connectivity after kills) belong to the builder,
+// which knows the graph.
+func (c *Config) Validate() error {
+	switch {
+	case c.LinkBER < 0 || c.LinkBER > 1:
+		return fmt.Errorf("fault: LinkBER %v outside [0,1]", c.LinkBER)
+	case c.MaxRetries < 0:
+		return fmt.Errorf("fault: negative MaxRetries %d", c.MaxRetries)
+	case c.RetryBackoff < 0:
+		return fmt.Errorf("fault: negative RetryBackoff %v", c.RetryBackoff)
+	case c.WatchdogInterval < 0 || c.WatchdogStale < 0:
+		return fmt.Errorf("fault: negative watchdog parameters")
+	}
+	for _, k := range c.KillLinks {
+		if k.At < 0 || k.Edge < 0 {
+			return fmt.Errorf("fault: invalid link kill %+v", k)
+		}
+	}
+	for _, k := range c.KillCubes {
+		if k.At < 0 || k.Node <= packet.HostNode {
+			return fmt.Errorf("fault: invalid cube kill %+v", k)
+		}
+	}
+	for _, k := range c.LaneFails {
+		if k.At < 0 || k.Edge < 0 {
+			return fmt.Errorf("fault: invalid lane failure %+v", k)
+		}
+	}
+	return nil
+}
+
+// EventKind discriminates scheduled fault events.
+type EventKind uint8
+
+const (
+	// EvKillLink fails an edge.
+	EvKillLink EventKind = iota
+	// EvKillCube fails a cube (memory, or the whole node when Full).
+	EvKillCube
+	// EvLaneFail down-binds an edge to half width.
+	EvLaneFail
+)
+
+// Event is one scheduled fault, in the merged time-ordered schedule.
+type Event struct {
+	At   sim.Time
+	Kind EventKind
+	Edge int           // EvKillLink, EvLaneFail
+	Node packet.NodeID // EvKillCube
+	Full bool          // EvKillCube
+}
+
+// Schedule merges the configured faults into one list sorted by time
+// (stable, so same-instant faults apply in declaration order:
+// link kills, then cube kills, then lane failures).
+func (c *Config) Schedule() []Event {
+	evs := make([]Event, 0, len(c.KillLinks)+len(c.KillCubes)+len(c.LaneFails))
+	for _, k := range c.KillLinks {
+		evs = append(evs, Event{At: k.At, Kind: EvKillLink, Edge: k.Edge})
+	}
+	for _, k := range c.KillCubes {
+		evs = append(evs, Event{At: k.At, Kind: EvKillCube, Node: k.Node, Full: k.Full})
+	}
+	for _, k := range c.LaneFails {
+		evs = append(evs, Event{At: k.At, Kind: EvLaneFail, Edge: k.Edge})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// LinkFault is the per-direction error model a link.Direction consults
+// on every transmission. Nil disables error injection entirely (the
+// link hot path then schedules exactly the fault-free event sequence).
+type LinkFault struct {
+	rng *sim.Rand
+	ber float64
+	// pErr caches the per-packet error probability by packet size; a
+	// simulation only ever sees two sizes (control and data flits).
+	pErr map[int]float64
+
+	// MaxRetries and Backoff parameterize the sender's retry buffer;
+	// see Config.
+	MaxRetries int
+	Backoff    sim.Time
+}
+
+// LinkFault builds the error model for one direction of one edge
+// (dir 0 is A->B, 1 is B->A), or nil when LinkBER is zero. c must
+// already carry defaults (WithDefaults).
+func (c *Config) LinkFault(edge, dir int) *LinkFault {
+	if c.LinkBER <= 0 {
+		return nil
+	}
+	return NewLinkFault(streamSeed(c.Seed, edge, dir), c.LinkBER, c.MaxRetries, c.RetryBackoff)
+}
+
+// NewLinkFault builds a standalone error model (exported for tests and
+// custom wiring).
+func NewLinkFault(seed uint64, ber float64, maxRetries int, backoff sim.Time) *LinkFault {
+	return &LinkFault{
+		rng:        sim.NewRand(seed),
+		ber:        ber,
+		pErr:       make(map[int]float64, 2),
+		MaxRetries: maxRetries,
+		Backoff:    backoff,
+	}
+}
+
+// streamSeed decorrelates per-direction streams from the scenario seed
+// with a splitmix-style odd-multiplier jump; sim.NewRand further
+// whitens it.
+func streamSeed(seed uint64, edge, dir int) uint64 {
+	return seed + (uint64(edge)*2+uint64(dir)+1)*0x9e3779b97f4a7c15
+}
+
+// Corrupt draws whether a transmission of the given size fails its CRC
+// check: p = 1 - (1-BER)^bits.
+func (f *LinkFault) Corrupt(bits int) bool {
+	p, ok := f.pErr[bits]
+	if !ok {
+		p = 1 - math.Pow(1-f.ber, float64(bits))
+		f.pErr[bits] = p
+	}
+	return f.rng.Float64() < p
+}

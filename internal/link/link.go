@@ -15,6 +15,7 @@ package link
 import (
 	"fmt"
 
+	"memnet/internal/fault"
 	"memnet/internal/packet"
 	"memnet/internal/sim"
 )
@@ -56,7 +57,10 @@ type Stats struct {
 	BitsSent    uint64
 	QueueWait   sim.Time // total time packets spent in the output queue
 	BusyTime    sim.Time // wire occupancy
-	CreditStall uint64   // transmissions deferred for lack of credit
+	CreditStall uint64   // packets deferred at least once for lack of credit
+	CRCErrors   uint64   // transmissions corrupted in flight (failed CRC)
+	Retries     uint64   // retransmissions out of the retry buffer
+	Dropped     uint64   // packets abandoned after exhausting MaxRetries
 }
 
 // Direction is one half of a full-duplex link: a bounded per-VC output
@@ -81,6 +85,19 @@ type Direction struct {
 
 	pumpScheduled bool
 	lastVC        packet.VC // round-robin state when NoVCPriority
+	// stalled marks a VC whose head packet has already been counted in
+	// Stats.CreditStall, so pump re-probes don't inflate the counter; the
+	// flag clears when that VC next transmits.
+	stalled [packet.NumVCs]bool
+
+	// flt, when non-nil, injects CRC failures on every transmission; the
+	// corrupted packet is held in retryQ (the HMC-style link retry
+	// buffer) and retransmitted after an ack round-trip plus exponential
+	// backoff. Nil keeps the hot path schedule-identical to a fault-free
+	// link.
+	flt    *fault.LinkFault
+	retryQ []retryEntry
+	dead   bool
 
 	// pumpFn and arriveFn are bound once at construction so the per-packet
 	// hot path schedules them without allocating a closure.
@@ -95,11 +112,28 @@ type entry struct {
 	enqueued sim.Time
 }
 
+// retryEntry is one packet parked in the retry buffer. It still holds
+// the receiver credit consumed by its first transmission, so the remote
+// buffer slot stays reserved until delivery or drop.
+type retryEntry struct {
+	p        *packet.Packet
+	vc       packet.VC
+	bits     int
+	attempts int // transmissions so far
+	readyAt  sim.Time
+}
+
 // New returns a Direction. deliver must be non-nil before the first Send.
 func New(eng *sim.Engine, cfg Config, meter Meter) *Direction {
 	if cfg.QueueDepth <= 0 || cfg.Credits <= 0 {
 		panic(fmt.Sprintf("link: non-positive queue depth %d or credits %d",
 			cfg.QueueDepth, cfg.Credits))
+	}
+	if cfg.BandwidthBps <= 0 {
+		panic(fmt.Sprintf("link: non-positive bandwidth %d bps", cfg.BandwidthBps))
+	}
+	if cfg.SerDesLatency < 0 {
+		panic(fmt.Sprintf("link: negative SerDes latency %v", cfg.SerDesLatency))
 	}
 	if meter == nil {
 		meter = nopMeter{}
@@ -122,20 +156,69 @@ func (d *Direction) SetDeliver(fn func(*packet.Packet)) { d.deliver = fn }
 // SetOnSpace wires the output-queue-space callback.
 func (d *Direction) SetOnSpace(fn func(packet.VC)) { d.onSpace = fn }
 
+// AttachFault arms CRC-failure injection on this direction. Call before
+// traffic flows; a nil model leaves the direction fault-free.
+func (d *Direction) AttachFault(f *fault.LinkFault) { d.flt = f }
+
 // Stats returns a copy of the direction's counters.
 func (d *Direction) Stats() Stats { return d.stats }
 
-// CanAccept reports whether the output queue of vc has room.
+// CanAccept reports whether the output queue of vc has room. A failed
+// direction accepts nothing.
 func (d *Direction) CanAccept(vc packet.VC) bool {
-	return len(d.queue[vc]) < d.cfg.QueueDepth
+	return !d.dead && len(d.queue[vc]) < d.cfg.QueueDepth
 }
 
 // QueueLen reports the occupancy of the vc output queue.
 func (d *Direction) QueueLen(vc packet.VC) int { return len(d.queue[vc]) }
 
+// Credits reports the transmit credits currently available for vc.
+func (d *Direction) Credits(vc packet.VC) int { return d.credits[vc] }
+
+// RetryLen reports how many packets sit in the retry buffer.
+func (d *Direction) RetryLen() int { return len(d.retryQ) }
+
+// Bandwidth reports the current serialization bandwidth, after any
+// down-binding.
+func (d *Direction) Bandwidth() int64 { return d.cfg.BandwidthBps }
+
+// Dead reports whether the direction has been failed.
+func (d *Direction) Dead() bool { return d.dead }
+
+// Downbind halves the serialization bandwidth, modeling an HMC link
+// dropping to half width after a SerDes lane failure. Transmissions
+// already on the wire finish at the old rate.
+func (d *Direction) Downbind() {
+	if d.cfg.BandwidthBps > 1 {
+		d.cfg.BandwidthBps /= 2
+	}
+}
+
+// Fail kills the direction. Every packet waiting in the output queues or
+// parked in the retry buffer is handed to drain (for the owning router to
+// re-route); packets already serialized onto the wire still land at the
+// receiver. After Fail the direction accepts nothing and transmits
+// nothing.
+func (d *Direction) Fail(drain func(*packet.Packet)) {
+	d.dead = true
+	for vc := range d.queue {
+		for _, e := range d.queue[vc] {
+			drain(e.p)
+		}
+		d.queue[vc] = nil
+	}
+	for _, r := range d.retryQ {
+		drain(r.p)
+	}
+	d.retryQ = nil
+}
+
 // Send enqueues p for transmission. The caller must have checked
 // CanAccept; Send panics on overflow to surface flow-control bugs.
 func (d *Direction) Send(p *packet.Packet) {
+	if d.dead {
+		panic(fmt.Sprintf("link: send on failed link for %v", p))
+	}
 	vc := packet.VCOf(p.Kind)
 	if !d.CanAccept(vc) {
 		panic(fmt.Sprintf("link: output queue overflow on %v for %v", vc, p))
@@ -155,15 +238,21 @@ func (d *Direction) ReturnCredit(vc packet.VC) {
 }
 
 // pump attempts to start a transmission now, or schedules a retry when
-// the wire frees. It is idempotent per simulated instant.
+// the wire frees. Ready retransmissions take the wire before fresh
+// queue traffic (they hold receiver credits, so landing them first
+// unblocks the most). It is idempotent per simulated instant.
 func (d *Direction) pump() {
-	if d.pumpScheduled {
+	if d.dead || d.pumpScheduled {
 		return
 	}
 	now := d.eng.Now()
 	if !d.wire.Idle(now) {
 		d.pumpScheduled = true
 		d.eng.At(d.wire.FreeAt(), d.pumpFn)
+		return
+	}
+	if d.sendRetry(now) {
+		d.pump()
 		return
 	}
 	vc, ok := d.pickVC()
@@ -184,7 +273,13 @@ func (d *Direction) pickVC() (packet.VC, bool) {
 			return false
 		}
 		if d.credits[vc] == 0 {
-			d.stats.CreditStall++
+			// One stall per deferred packet: the flag holds until this
+			// VC transmits, so pump re-probes of the same stuck head
+			// don't recount it.
+			if !d.stalled[vc] {
+				d.stalled[vc] = true
+				d.stats.CreditStall++
+			}
 			return false
 		}
 		return true
@@ -215,6 +310,7 @@ func (d *Direction) transmit(vc packet.VC) {
 	copy(d.queue[vc], d.queue[vc][1:])
 	d.queue[vc] = d.queue[vc][:len(d.queue[vc])-1]
 	d.credits[vc]--
+	d.stalled[vc] = false
 
 	now := d.eng.Now()
 	d.stats.QueueWait += now - e.enqueued
@@ -225,11 +321,57 @@ func (d *Direction) transmit(vc packet.VC) {
 	d.stats.Sent[vc]++
 	d.stats.BitsSent += uint64(bits)
 
-	d.eng.AtArg(end+d.cfg.SerDesLatency, d.arriveFn, e.p)
+	d.finishTransmit(e.p, vc, 1, end, bits)
 
 	if d.onSpace != nil {
 		d.onSpace(vc)
 	}
+}
+
+// finishTransmit resolves one wire occupancy that ends at end: either
+// the packet lands after the SerDes latency, or (with a fault model
+// attached) its CRC check fails and it parks in the retry buffer. A
+// retransmission becomes eligible only after the implicit-ack round
+// trip (two SerDes traversals) plus an exponential backoff that doubles
+// per consecutive error, capped at 64x.
+func (d *Direction) finishTransmit(p *packet.Packet, vc packet.VC, attempts int, end sim.Time, bits int) {
+	if d.flt != nil && d.flt.Corrupt(bits) {
+		d.stats.CRCErrors++
+		if d.flt.MaxRetries > 0 && attempts > d.flt.MaxRetries {
+			d.stats.Dropped++
+			d.credits[vc]++ // the receiver slot was never filled
+			return
+		}
+		shift := uint(attempts - 1)
+		if shift > 6 {
+			shift = 6
+		}
+		readyAt := end + 2*d.cfg.SerDesLatency + d.flt.Backoff<<shift
+		d.retryQ = append(d.retryQ, retryEntry{p: p, vc: vc, bits: bits, attempts: attempts, readyAt: readyAt})
+		d.eng.At(readyAt, d.pumpFn)
+		return
+	}
+	d.eng.AtArg(end+d.cfg.SerDesLatency, d.arriveFn, p)
+}
+
+// sendRetry retransmits the first retry-buffer entry whose backoff has
+// elapsed, if any. The wire must be idle. The entry keeps its original
+// credit, so no new credit is consumed.
+func (d *Direction) sendRetry(now sim.Time) bool {
+	for i, r := range d.retryQ {
+		if r.readyAt > now {
+			continue
+		}
+		d.retryQ = append(d.retryQ[:i], d.retryQ[i+1:]...)
+		ser := sim.BitTime(r.bits, d.cfg.BandwidthBps)
+		_, end := d.wire.Reserve(now, ser)
+		d.stats.BusyTime += end - now
+		d.stats.Retries++
+		d.stats.BitsSent += uint64(r.bits)
+		d.finishTransmit(r.p, r.vc, r.attempts+1, end, r.bits)
+		return true
+	}
+	return false
 }
 
 // arrive lands a packet at the receiver after serialization + SerDes

@@ -59,11 +59,19 @@ type Router struct {
 	// handler keeps each of those schedules allocation-free.
 	sweepFn sim.Handler
 	retryFn sim.Handler
+	// reroutes holds packets handed back by a failed output link
+	// (link.Direction.Fail drains into Reinject); they re-enter the
+	// network through the recomputed route tables at the next sweep.
+	reroutes []*packet.Packet
+
 	// Forwarded counts packets moved input->output, per VC.
 	Forwarded [packet.NumVCs]uint64
 	// Contended counts arbitration decisions with more than one
 	// candidate input (where the policy actually matters).
 	Contended uint64
+	// Rerouted counts packets salvaged off a dead link and re-sent on a
+	// route-around path.
+	Rerouted uint64
 }
 
 // New creates a router shell; ports are attached afterwards with
@@ -119,6 +127,19 @@ func (r *Router) InputBuffer(i int) *link.Buffer { return r.in[i] }
 // Output exposes port i's output direction (for wiring and stats).
 func (r *Router) Output(i int) *link.Direction { return r.out[i] }
 
+// Reinject hands the router a packet salvaged from a failed output link
+// (or bounced off a dead neighbor). The packet waits in a side queue and
+// leaves through whatever port the current route tables choose — which,
+// after a fault swap, is the route-around path.
+func (r *Router) Reinject(p *packet.Packet) {
+	r.reroutes = append(r.reroutes, p)
+	r.Kick()
+}
+
+// RerouteBacklog reports how many salvaged packets still await a free
+// output (for the wedge diagnostic dump).
+func (r *Router) RerouteBacklog() int { return len(r.reroutes) }
+
 // Kick schedules a forwarding sweep at the current instant (idempotent
 // per instant).
 func (r *Router) Kick() {
@@ -139,6 +160,7 @@ func (r *Router) sweep() {
 	if r.route == nil {
 		panic(fmt.Sprintf("router %d: no route function", r.node))
 	}
+	r.drainReroutes()
 	n := len(r.out)
 	for _, vc := range []packet.VC{packet.VCResponse, packet.VCRequest} {
 		for k := 0; k < n; k++ {
@@ -162,12 +184,10 @@ func (r *Router) drain(o int, vc packet.VC) bool {
 		}
 		candidates = candidates[:0]
 		for i, buf := range r.in {
-			if i == o {
-				// A packet never leaves through the port it entered;
-				// shortest-path tables guarantee this, and skipping the
-				// self port keeps arbitration honest.
-				continue
-			}
+			// The entry port is a legal candidate: shortest-path tables
+			// never route a packet back out the port it entered, but after
+			// a mid-run fault swap a packet caught traveling toward a dead
+			// link must U-turn.
 			head := buf.Head(vc)
 			if head == nil {
 				continue
@@ -193,6 +213,28 @@ func (r *Router) drain(o int, vc packet.VC) bool {
 		r.out[o].Send(p)
 	}
 	return true
+}
+
+// drainReroutes re-sends salvaged packets through the current route
+// tables, ahead of regular arbitration (they already paid their queuing
+// dues on the dead link). Packets that find no output space stay queued;
+// output OnSpace callbacks re-kick the sweep.
+func (r *Router) drainReroutes() {
+	if len(r.reroutes) == 0 {
+		return
+	}
+	kept := r.reroutes[:0]
+	for _, p := range r.reroutes {
+		o := r.route(p)
+		vc := packet.VCOf(p.Kind)
+		if o >= 0 && r.out[o].CanAccept(vc) {
+			r.Rerouted++
+			r.out[o].Send(p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	r.reroutes = kept
 }
 
 // armRetry schedules a sweep for the instant the crossbar frees.

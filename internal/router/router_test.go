@@ -173,3 +173,44 @@ func TestMissingRoutePanics(t *testing.T) {
 	h.feed[0].Send(&packet.Packet{ID: 1, Kind: packet.ReadReq})
 	h.eng.Run()
 }
+
+// TestReinjectReroutes: a packet salvaged off a dead link leaves through
+// whatever port the route table picks, counted in Rerouted.
+func TestReinjectReroutes(t *testing.T) {
+	h := newTwoPort(t, arb.New(arb.RoundRobin, arb.Config{}), 0)
+	h.r.SetRoute(func(p *packet.Packet) int { return 1 })
+	p := &packet.Packet{ID: 1, Kind: packet.ReadReq, Src: 0, Dst: 2}
+	h.r.Reinject(p)
+	if h.r.RerouteBacklog() != 1 {
+		t.Fatalf("backlog %d before sweep, want 1", h.r.RerouteBacklog())
+	}
+	h.eng.Run()
+	if len(h.sunk[1]) != 1 || h.sunk[1][0] != p {
+		t.Fatalf("reinjected packet not rerouted out port 1: %v", h.sunk)
+	}
+	if h.r.Rerouted != 1 || h.r.RerouteBacklog() != 0 {
+		t.Fatalf("Rerouted=%d backlog=%d, want 1/0", h.r.Rerouted, h.r.RerouteBacklog())
+	}
+}
+
+// TestReinjectWaitsForSpace: with the chosen output failed, the salvaged
+// packet waits in the side queue instead of being dropped or panicking.
+func TestReinjectWaitsForSpace(t *testing.T) {
+	h := newTwoPort(t, arb.New(arb.RoundRobin, arb.Config{}), 0)
+	routeTo := 1
+	h.r.SetRoute(func(p *packet.Packet) int { return routeTo })
+	h.toNbr[1].Fail(func(*packet.Packet) {})
+	p := &packet.Packet{ID: 1, Kind: packet.ReadReq, Src: 0, Dst: 2}
+	h.r.Reinject(p)
+	h.eng.Run()
+	if h.r.RerouteBacklog() != 1 || h.r.Rerouted != 0 {
+		t.Fatalf("packet should wait: backlog=%d rerouted=%d", h.r.RerouteBacklog(), h.r.Rerouted)
+	}
+	// Route table swap (as core does after a kill) frees it via port 0.
+	routeTo = 0
+	h.r.Kick()
+	h.eng.Run()
+	if len(h.sunk[0]) != 1 || h.r.Rerouted != 1 {
+		t.Fatalf("packet not released after table swap: %v", h.sunk)
+	}
+}

@@ -1,0 +1,33 @@
+package stats
+
+// FaultCounters aggregates the resilience layer's whole-run counters:
+// what was injected (lane failures, link and cube kills), what the
+// network absorbed (CRC errors, retransmissions, drops), and how routing
+// adapted (salvaged reroutes, bounced in-flight packets, re-homed
+// addresses). All-zero when fault injection is disabled, so it is inert
+// in golden-result comparisons.
+type FaultCounters struct {
+	// CRCErrors counts link transmissions corrupted in flight.
+	CRCErrors uint64
+	// Retries counts link-level retransmissions out of retry buffers.
+	Retries uint64
+	// Dropped counts packets abandoned after exhausting MaxRetries.
+	Dropped uint64
+	// Rerouted counts packets salvaged off dead links and re-sent on
+	// route-around paths.
+	Rerouted uint64
+	// Bounced counts in-flight packets that reached a dead cube and were
+	// redirected to its spare.
+	Bounced uint64
+	// Rehomed counts injections whose home cube was dead and that were
+	// redirected to the spare at the source.
+	Rehomed uint64
+	// LaneFails, LinksKilled, and CubesKilled count applied scheduled
+	// faults.
+	LaneFails   uint64
+	LinksKilled uint64
+	CubesKilled uint64
+}
+
+// Any reports whether any counter is nonzero.
+func (f FaultCounters) Any() bool { return f != (FaultCounters{}) }

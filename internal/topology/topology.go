@@ -169,6 +169,14 @@ type Graph struct {
 	next [NumClasses][][]int8
 	// dist[class][node][dst] = hop count, or -1 if unreachable.
 	dist [NumClasses][][]int16
+
+	// deadEdge/deadNode are the fault masks of a degraded graph built by
+	// Disable (nil on a healthy graph). Unlike RemoveEdge, they leave
+	// Nodes, Edges, and adjacency — and therefore every port index —
+	// untouched, so a live, already-wired network can swap its routing
+	// tables without rewiring.
+	deadEdge []bool
+	deadNode []bool
 }
 
 // NumNodes reports the node count including the host.
@@ -208,6 +216,22 @@ func (g *Graph) EdgeIndex(n packet.NodeID, port int) int {
 // class, or -1 when n == dst or dst is unreachable in that class.
 func (g *Graph) NextPort(class PathClass, n, dst packet.NodeID) int {
 	return int(g.next[class][n][dst])
+}
+
+// DeadEdge reports whether edge ei has been failed by Disable.
+func (g *Graph) DeadEdge(ei int) bool { return g.deadEdge != nil && g.deadEdge[ei] }
+
+// DeadNode reports whether node n has been fully failed by Disable.
+func (g *Graph) DeadNode(n packet.NodeID) bool { return g.deadNode != nil && g.deadNode[n] }
+
+// EdgeBetween returns the index of the edge connecting a and b, or -1.
+func (g *Graph) EdgeBetween(a, b packet.NodeID) int {
+	for ei, e := range g.Edges {
+		if (e.A == a && e.B == b) || (e.A == b && e.B == a) {
+			return ei
+		}
+	}
+	return -1
 }
 
 // Dist returns the hop distance between a and b in the given class, or
@@ -536,6 +560,44 @@ func (g *Graph) rebuild() error {
 	return nil
 }
 
+// Disable returns a copy of the graph with the given edges and nodes
+// marked dead and every routing table recomputed around them, layered on
+// top of any faults the receiver already carries. Nodes, Edges, and
+// adjacency are shared untouched, so port indices stay valid for a
+// network that is already wired — this is the route-around primitive for
+// runtime faults, where RemoveEdge (which reindexes) only suits
+// build-time what-ifs.
+//
+// A dead node is a "zombie" in the tables: it keeps next-hops of its own
+// (packets queued there when it died can escape) and remains a reachable
+// destination (in-flight packets are bounced at its router), but no
+// route transits it. Disable errors if any live node becomes unreachable
+// from the host — chains and trees have no redundancy to route around;
+// rings, skip lists, and meshes do.
+func (g *Graph) Disable(deadEdges []int, deadNodes []packet.NodeID) (*Graph, error) {
+	ng := &Graph{Kind: g.Kind, Nodes: g.Nodes, Edges: g.Edges}
+	ng.deadEdge = make([]bool, len(g.Edges))
+	ng.deadNode = make([]bool, len(g.Nodes))
+	copy(ng.deadEdge, g.deadEdge)
+	copy(ng.deadNode, g.deadNode)
+	for _, ei := range deadEdges {
+		if ei < 0 || ei >= len(g.Edges) {
+			return nil, fmt.Errorf("topology: no edge %d", ei)
+		}
+		ng.deadEdge[ei] = true
+	}
+	for _, n := range deadNodes {
+		if int(n) <= int(packet.HostNode) || int(n) >= len(g.Nodes) {
+			return nil, fmt.Errorf("topology: cannot fail node %d", n)
+		}
+		ng.deadNode[n] = true
+	}
+	if err := ng.rebuild(); err != nil {
+		return nil, fmt.Errorf("topology: fault disconnects the network: %w", err)
+	}
+	return ng, nil
+}
+
 // RemoveEdge returns a copy of the graph with edge ei failed (removed)
 // and routes recomputed. It errors if the network would disconnect —
 // chains and trees have no redundancy; rings, skip lists, and meshes
@@ -571,6 +633,9 @@ func (g *Graph) routes(class PathClass) ([][]int8, [][]int16, error) {
 		}
 	}
 	usable := func(ei int) bool {
+		if g.deadEdge != nil && g.deadEdge[ei] {
+			return false
+		}
 		return class == PathShort || !g.Edges[ei].Express
 	}
 	queue := make([]packet.NodeID, 0, n)
@@ -599,16 +664,23 @@ func (g *Graph) routes(class PathClass) ([][]int8, [][]int16, error) {
 						break
 					}
 				}
-				queue = append(queue, v)
+				// A dead node gets next-hops of its own (the zombie escape
+				// rule) but is never expanded, so no path transits it.
+				if g.deadNode == nil || !g.deadNode[v] {
+					queue = append(queue, v)
+				}
 				_ = port
 			}
 		}
 	}
-	// The full graph (PathShort) must be connected; the restricted
-	// write-path graph may have holes, which rebuild patches with
-	// shortest-path fallbacks.
+	// The full graph (PathShort) must connect every live node; the
+	// restricted write-path graph may have holes, which rebuild patches
+	// with shortest-path fallbacks.
 	if class == PathShort {
 		for _, a := range g.Nodes {
+			if g.deadNode != nil && g.deadNode[a.ID] {
+				continue
+			}
 			if dist[packet.HostNode][a.ID] < 0 {
 				return nil, nil, fmt.Errorf("topology: node %d unreachable from host",
 					a.ID)

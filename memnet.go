@@ -31,8 +31,11 @@ import (
 	"memnet/internal/arb"
 	"memnet/internal/config"
 	"memnet/internal/core"
+	"memnet/internal/fault"
 	"memnet/internal/migrate"
+	"memnet/internal/packet"
 	"memnet/internal/sim"
+	"memnet/internal/stats"
 	"memnet/internal/topology"
 	"memnet/internal/workload"
 )
@@ -128,6 +131,31 @@ func DefaultTuning() Tuning { return core.DefaultTuning() }
 // internal/core documentation for details.
 type Instance = core.Instance
 
+// NodeID identifies a node within one port's network; the host is node
+// 0 and cubes count up from 1 (used to address CubeKill targets).
+type NodeID = packet.NodeID
+
+// FaultConfig configures the deterministic fault-injection layer: a
+// seeded per-link bit error rate (CRC-detected, absorbed by HMC-style
+// retry buffers), scheduled lane failures (bandwidth down-binding),
+// scheduled link and cube kills (routed around via recomputed tables),
+// and a progress watchdog that fails wedged runs fast with a
+// queue/credit diagnostic. The zero value (or a nil pointer) injects
+// nothing and leaves the simulation bit-identical to a fault-free run.
+type FaultConfig = fault.Config
+
+// LinkKill / CubeKill / LaneFail schedule individual faults inside a
+// FaultConfig.
+type (
+	LinkKill = fault.LinkKill
+	CubeKill = fault.CubeKill
+	LaneFail = fault.LaneFail
+)
+
+// FaultCounters aggregates the resilience layer's whole-run counters
+// (Results.Fault); all-zero when fault injection is disabled.
+type FaultCounters = stats.FaultCounters
+
 // MigrationPolicy tunes the optional hot-block migration manager — the
 // heterogeneous-memory management layer mixed DRAM:NVM networks rely on
 // (paper §2.4).
@@ -162,6 +190,10 @@ type Config struct {
 	// FailLinks fails the listed topology edges before the run (RAS
 	// experiment); building fails if the network would disconnect.
 	FailLinks []int
+	// Fault, when non-nil and non-zero, enables mid-run fault injection
+	// (link errors with retry, lane degradation, link/cube kills) and
+	// the progress watchdog.
+	Fault *FaultConfig
 	// Migration, when non-nil, enables epoch-based hot-block migration
 	// between NVM and DRAM cubes.
 	Migration *MigrationPolicy
@@ -233,6 +265,7 @@ func (c Config) params() (core.Params, error) {
 		KeepSamples:  c.KeepSamples,
 	}
 	p.FailLinks = c.FailLinks
+	p.Fault = c.Fault
 	p.Migration = c.Migration
 	p.Replay = c.ReplayTrace
 	p.Record = c.Record

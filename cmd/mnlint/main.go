@@ -1,0 +1,178 @@
+// Command mnlint runs memnet's determinism and packet-ownership linter
+// suite (see internal/lint) over Go packages.
+//
+// Standalone (the form CI uses):
+//
+//	go run ./cmd/mnlint ./...
+//	go run ./cmd/mnlint -c detmap,poolcheck ./internal/migrate
+//
+// As a go vet tool (diagnostics integrate with go vet's output):
+//
+//	go build -o /tmp/mnlint ./cmd/mnlint
+//	go vet -vettool=/tmp/mnlint ./...
+//
+// Exit status is 0 when no findings are reported, 1 on findings, 2 on
+// operational errors (unloadable packages, type errors).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"memnet/internal/lint"
+	"memnet/internal/lint/analysis"
+	"memnet/internal/lint/loader"
+)
+
+func main() {
+	// The go vet driver probes its tool before use: `-V=full` must
+	// print an identity line, `-flags` the supported flag set, and a
+	// lone *.cfg argument requests a unit-checker run over one package.
+	if len(os.Args) == 2 {
+		switch {
+		case os.Args[1] == "-V=full":
+			fmt.Printf("%s version mnlint-1.0\n", filepath.Base(os.Args[0]))
+			return
+		case os.Args[1] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			os.Exit(vetUnit(os.Args[1]))
+		}
+	}
+
+	var (
+		checks = flag.String("c", "", "comma-separated analyzer subset (default: all)")
+		list   = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mnlint [-c analyzers] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *checks != "" {
+		names := strings.Split(*checks, ",")
+		analyzers = lint.ByName(names...)
+		if len(analyzers) != len(names) {
+			fmt.Fprintf(os.Stderr, "mnlint: unknown analyzer in -c %q\n", *checks)
+			os.Exit(2)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	l := loader.New()
+	units, err := l.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mnlint: %v\n", err)
+		os.Exit(2)
+	}
+	exit := 0
+	for _, u := range units {
+		findings, err := analysis.RunAnalyzers(u, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mnlint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(rel(f))
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// rel shortens absolute file positions to be relative to the working
+// directory, keeping CI logs and editors happy.
+func rel(f analysis.Finding) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return f.String()
+	}
+	if r, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		f.Pos.Filename = r
+	}
+	return f.String()
+}
+
+// vetConfig is the subset of the go vet unit-checker configuration file
+// mnlint consumes. The driver hands the tool one package's worth of
+// files; imports are re-type-checked from source (mnlint ignores the
+// export data the config points at, trading speed for zero
+// dependencies).
+type vetConfig struct {
+	ID         string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+	Succeed    bool `json:"SucceedOnTypecheckFailure"`
+}
+
+// vetUnit implements one `go vet -vettool` invocation; it returns the
+// process exit code (0 clean, 2 findings or failure, matching the
+// x/tools unitchecker convention go vet expects).
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mnlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mnlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The driver requires the facts file to exist even though mnlint's
+	// analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("mnlint\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "mnlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+	// Only lint first-party memnet packages; go vet also feeds the tool
+	// every dependency for fact extraction.
+	if cfg.ImportPath != "memnet" && !strings.HasPrefix(cfg.ImportPath, "memnet/") {
+		return 0
+	}
+	l := loader.New()
+	u, err := l.LoadFiles(cfg.ImportPath, cfg.GoFiles)
+	if err != nil {
+		if cfg.Succeed {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "mnlint: %v\n", err)
+		return 1
+	}
+	findings, err := analysis.RunAnalyzers(u, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mnlint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -737,11 +737,19 @@ func (in *Instance) applyFault(i int) {
 		}
 		spare := in.planSpares[i]
 		// Collapse chains: victims previously re-homed onto this cube
-		// move with it, so lookups stay single-level.
+		// move with it, so lookups stay single-level. Collect and sort
+		// the victims before rewriting so the sweep order (and any
+		// future side effects hung off it) stays deterministic.
+		var victims []packet.NodeID
 		for k, v := range in.rehome {
-			if v == ev.Node {
-				in.rehome[k] = spare
+			if v != ev.Node {
+				continue
 			}
+			victims = append(victims, k)
+		}
+		sort.Slice(victims, func(a, b int) bool { return victims[a] < victims[b] })
+		for _, k := range victims {
+			in.rehome[k] = spare
 		}
 		in.rehome[ev.Node] = spare
 		in.fc.CubesKilled++

@@ -32,13 +32,20 @@ type NodeReport struct {
 	Banks mem.BankStats
 }
 
-// Report builds per-node reports sorted by node ID.
+// Report builds per-node reports sorted by node ID. Nodes are walked
+// in graph order (not router-map order) so the report is deterministic
+// end to end.
 func (in *Instance) Report() []NodeReport {
 	out := make([]NodeReport, 0, len(in.routers))
-	for id, r := range in.routers {
+	for _, node := range in.Graph.Nodes {
+		id := node.ID
+		r := in.routers[id]
+		if r == nil {
+			continue
+		}
 		nr := NodeReport{
 			Node:      id,
-			Kind:      in.Graph.Nodes[id].Kind,
+			Kind:      node.Kind,
 			Forwarded: r.Forwarded[packet.VCRequest] + r.Forwarded[packet.VCResponse],
 			Contended: r.Contended,
 			InputWait: r.TotalInputWait(),

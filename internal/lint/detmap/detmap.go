@@ -1,0 +1,229 @@
+// Package detmap implements the mnlint analyzer that forbids
+// result-affecting iteration over Go maps in simulation packages.
+//
+// Go randomizes map iteration order per range statement, so any map
+// walk whose body influences simulation state, event ordering, or
+// reported results breaks memnet's bit-identical determinism guarantee.
+// The analyzer flags every `for ... range m` where m is a map, inside
+// the restricted simulation packages, unless:
+//
+//   - the loop only collects keys/values into a slice that the same
+//     function subsequently sorts (the canonical fix), or
+//   - the statement carries a //lint:sorted annotation stating why the
+//     iteration order cannot affect results (e.g. a commutative
+//     reduction over integers, or error paths that never run in
+//     healthy simulations).
+package detmap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"memnet/internal/lint/analysis"
+	"memnet/internal/lint/lintutil"
+)
+
+// Analyzer is the detmap analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc: "flag nondeterministic map iteration in simulation packages " +
+		"(collect into a slice and sort, or annotate //lint:sorted)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.SimPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	dirs := lintutil.NewDirectives(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		for _, fb := range lintutil.Functions(f) {
+			checkFunc(pass, dirs, fb.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc examines every map range directly inside body (nested
+// function literals are visited as their own FuncBody).
+func checkFunc(pass *analysis.Pass, dirs *lintutil.Directives, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // visited separately as its own function body
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !lintutil.IsMapType(pass.TypesInfo, rs.X) {
+			return true
+		}
+		if dirs.Allows(rs.Pos(), "sorted") {
+			return true
+		}
+		if collectsThenSorts(pass.TypesInfo, rs, body) {
+			return true
+		}
+		pass.Reportf(rs.Pos(),
+			"nondeterministic iteration over map %s; collect keys into a slice and sort them, or annotate with //lint:sorted <reason>",
+			exprString(rs.X))
+		return true
+	})
+}
+
+// collectsThenSorts reports whether the range loop's body does nothing
+// but append to one or more local slices, each of which is sorted later
+// in the same function body.
+func collectsThenSorts(info *types.Info, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	collected := make(map[types.Object]bool)
+	if !collectOnly(info, rs.Body.List, collected) || len(collected) == 0 {
+		return false
+	}
+	for obj := range collected {
+		if !sortedAfter(info, fnBody, obj, rs.End()) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectOnly whitelists the statement forms a pure key-collection loop
+// may contain: appends to local slices, guards (if/continue), and local
+// definitions. Any other statement disqualifies the loop.
+func collectOnly(info *types.Info, stmts []ast.Stmt, collected map[types.Object]bool) bool {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.AssignStmt:
+			if obj := appendTarget(info, st); obj != nil {
+				collected[obj] = true
+				continue
+			}
+			// Local derivation like `blk := base(k)` is harmless as long
+			// as it calls nothing but conversions; be permissive here —
+			// what matters is that nothing escapes except the appends.
+			if st.Tok == token.DEFINE {
+				continue
+			}
+			return false
+		case *ast.IfStmt:
+			if !collectOnly(info, st.Body.List, collected) {
+				return false
+			}
+			switch els := st.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !collectOnly(info, els.List, collected) {
+					return false
+				}
+			case *ast.IfStmt:
+				if !collectOnly(info, []ast.Stmt{els}, collected) {
+					return false
+				}
+			default:
+				return false
+			}
+		case *ast.BranchStmt:
+			if st.Tok != token.CONTINUE {
+				return false
+			}
+		case *ast.DeclStmt:
+			// var / const / type declarations are side-effect free.
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// appendTarget returns the object of s when the statement has the exact
+// shape `s = append(s, ...)` (or `s := append(s, ...)`) for a slice
+// variable s, and nil otherwise.
+func appendTarget(info *types.Info, as *ast.AssignStmt) types.Object {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return nil
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return nil
+	}
+	if b, ok := info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	lobj := lintutil.ObjectOf(info, lhs)
+	fobj := lintutil.ObjectOf(info, first)
+	if lobj == nil || lobj != fobj {
+		return nil
+	}
+	return lobj
+}
+
+// sortFuncs are the recognized slice-sorting entry points, by package
+// path and function name.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Strings": true,
+		"Ints": true, "Float64s": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether obj is passed as the first argument to a
+// recognized sort call positioned after `after` within body.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, obj types.Object, after token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after || len(call.Args) == 0 {
+			return true
+		}
+		fn := lintutil.CalleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		names := sortFuncs[fn.Pkg().Path()]
+		if names == nil || !names[fn.Name()] {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok &&
+			lintutil.ObjectOf(info, id) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders small expressions (selector chains, identifiers)
+// for diagnostics without pulling in go/printer.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "map"
+	}
+}

@@ -1,0 +1,15 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"memnet/internal/lint/analysistest"
+	"memnet/internal/lint/detmap"
+)
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detmap.Analyzer,
+		"memnet/internal/sim/dm",
+		"example.com/notsim",
+	)
+}

@@ -1,0 +1,11 @@
+// Package notsim checks that detmap stays silent outside the
+// restricted simulation packages: unordered iteration here is fine.
+package notsim
+
+func Sum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

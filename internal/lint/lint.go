@@ -1,0 +1,51 @@
+// Package lint assembles mnlint, memnet's determinism and
+// packet-ownership linter suite. The five analyzers enforce the
+// invariants the simulator's bit-identical-replay guarantee rests on:
+//
+//	detmap     no unordered map iteration in simulation packages
+//	wallclock  no host clock or global math/rand in simulation packages
+//	poolcheck  no use of a *packet.Packet after Pool.Put releases it
+//	schedcheck no possibly-negative or float-derived event delays
+//	statskey   no fmt-built stat keys or string-keyed counters on hot paths
+//
+// See DESIGN.md ("Determinism rules") for the rationale and the
+// //lint: annotation escape hatches. cmd/mnlint is the driver.
+package lint
+
+import (
+	"memnet/internal/lint/analysis"
+	"memnet/internal/lint/detmap"
+	"memnet/internal/lint/poolcheck"
+	"memnet/internal/lint/schedcheck"
+	"memnet/internal/lint/statskey"
+	"memnet/internal/lint/wallclock"
+)
+
+// Analyzers returns the full mnlint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detmap.Analyzer,
+		wallclock.Analyzer,
+		poolcheck.Analyzer,
+		schedcheck.Analyzer,
+		statskey.Analyzer,
+	}
+}
+
+// ByName returns the named analyzers, or all of them for an empty list.
+// Unknown names are ignored (the driver validates separately).
+func ByName(names ...string) []*analysis.Analyzer {
+	all := Analyzers()
+	if len(names) == 0 {
+		return all
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		for _, a := range all {
+			if a.Name == n {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+// Package loader turns Go package patterns into analysis.Units: parsed
+// files plus full go/types information, using only the standard
+// library. Package discovery shells out to `go list -json`; imports are
+// type-checked from source via go/importer's "source" mode, so the
+// loader works offline and without pre-compiled export data.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"memnet/internal/lint/analysis"
+)
+
+// Loader holds the shared FileSet and import resolver. All packages
+// loaded through one Loader share both, so cross-package type identity
+// and source positions stay consistent.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+// New returns an empty loader.
+func New() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load expands the patterns (e.g. "./...") relative to dir and returns
+// one Unit per matched package, in `go list` order.
+func (l *Loader) Load(dir string, patterns ...string) ([]*analysis.Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	args := append([]string{"list", "-e", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var units []*analysis.Unit
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		u, err := l.LoadFiles(p.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// LoadDir loads the single package rooted at dir under the given import
+// path, taking every non-test .go file in the directory. It is the
+// entry point used by the analysistest harness, where testdata packages
+// are not visible to `go list`.
+func (l *Loader) LoadDir(pkgPath, dir string) (*analysis.Unit, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	return l.LoadFiles(pkgPath, files)
+}
+
+// LoadFiles parses and type-checks the given files as one package. Type
+// errors are fatal: the linters depend on complete type information.
+func (l *Loader) LoadFiles(pkgPath string, filenames []string) (*analysis.Unit, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(pkgPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		var sb strings.Builder
+		for i, e := range typeErrs {
+			if i == 8 {
+				fmt.Fprintf(&sb, "\n\t... and %d more", len(typeErrs)-i)
+				break
+			}
+			fmt.Fprintf(&sb, "\n\t%v", e)
+		}
+		return nil, fmt.Errorf("loader: type errors in %s:%s", pkgPath, sb.String())
+	}
+	return &analysis.Unit{
+		PkgPath: pkgPath,
+		Fset:    l.Fset,
+		Files:   files,
+		Pkg:     pkg,
+		Info:    info,
+	}, nil
+}

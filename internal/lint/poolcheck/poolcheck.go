@@ -1,0 +1,233 @@
+// Package poolcheck implements the mnlint analyzer that enforces the
+// packet-pool ownership rule: once a *packet.Packet is returned to
+// packet.Pool via Put, the releasing function must not touch it again.
+//
+// Pool.Put zeroes the packet immediately and recycles it into the next
+// transaction, so a read after Put observes zeroed (or, worse,
+// re-populated) fields — the classic use-after-free this repo's PR 1
+// host-port ownership comment warns about. The analyzer performs a
+// per-function, source-order dataflow over each local packet variable:
+//
+//   - any syntactic use of the variable after the Put call is flagged,
+//     until the variable is rebound by an assignment (e.g. a fresh
+//     pool.Get);
+//   - a Put of a variable previously handed to sim.Engine.ScheduleArg /
+//     AtArg (a bound event callback that will read it at a later
+//     simulated instant) is flagged as a release of a still-scheduled
+//     packet.
+//
+// The tracking is deliberately conservative: only identifier-typed
+// arguments are tracked, and a rebind ends tracking, so the analyzer
+// produces no false positives on the copy-header-fields-then-Put idiom
+// used by the host port.
+package poolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"memnet/internal/lint/analysis"
+	"memnet/internal/lint/lintutil"
+)
+
+// Analyzer is the poolcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc: "flag reads or re-schedules of a *packet.Packet after it is released " +
+		"to packet.Pool (use-after-free on the packet free list)",
+	Run: run,
+}
+
+const (
+	packetPkg = "memnet/internal/packet"
+	simPkg    = "memnet/internal/sim"
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, fb := range lintutil.Functions(f) {
+			checkFunc(pass, fb.Body)
+		}
+	}
+	return nil, nil
+}
+
+// release records one Pool.Put(x) call site.
+type release struct {
+	call *ast.CallExpr
+	obj  types.Object
+}
+
+// checkFunc runs the source-order dataflow over one function body.
+// Function literals nested inside are analyzed as their own bodies (a
+// closure runs at a different simulated time, so cross-boundary order
+// is meaningless anyway).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var (
+		puts      []release
+		schedules []release // packet passed as the arg of a bound event
+		rebinds   = rebindsIn(info, body)
+		deferred  = map[*ast.CallExpr]bool{}
+	)
+	inspectShallow(body, func(n ast.Node) {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+	})
+	inspectShallow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if deferred[call] {
+			// A deferred Put runs at function exit, after every
+			// source-ordered use; it cannot create an intra-function
+			// use-after-free.
+			return
+		}
+		switch {
+		case lintutil.IsMethodOn(info, call, packetPkg, "Pool", "Put"):
+			if obj := packetArg(info, call, 0); obj != nil {
+				puts = append(puts, release{call, obj})
+			}
+		case lintutil.IsMethodOn(info, call, simPkg, "Engine", "ScheduleArg"),
+			lintutil.IsMethodOn(info, call, simPkg, "Engine", "AtArg"):
+			if obj := packetArg(info, call, len(call.Args)-1); obj != nil {
+				schedules = append(schedules, release{call, obj})
+			}
+		}
+	})
+	for _, put := range puts {
+		// A Put of a packet that an earlier statement scheduled into a
+		// pending event: the callback will fire on freed memory.
+		for _, sc := range schedules {
+			if sc.obj == put.obj && sc.call.End() <= put.call.Pos() &&
+				!reboundBetween(rebinds, put.obj, sc.call.End(), put.call.Pos()) {
+				pass.Reportf(put.call.Pos(),
+					"packet %s is still bound to a scheduled event (%s) and is being released to the pool",
+					put.obj.Name(), pass.Fset.Position(sc.call.Pos()))
+			}
+		}
+		reportUsesAfter(pass, body, put, rebinds)
+	}
+}
+
+// reportUsesAfter flags every identifier use of put.obj positioned
+// after the Put call, up to the next rebinding assignment.
+func reportUsesAfter(pass *analysis.Pass, body *ast.BlockStmt, put release, rebinds []rebind) {
+	limit := nextRebind(rebinds, put.obj, put.call.End())
+	inspectShallow(body, func(n ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() < put.call.End() || id.Pos() >= limit {
+			return
+		}
+		if lintutil.ObjectOf(pass.TypesInfo, id) != put.obj {
+			return
+		}
+		if isRebindLHS(rebinds, id) {
+			return
+		}
+		pass.Reportf(id.Pos(),
+			"use of packet %s after it was released to the pool at %s",
+			put.obj.Name(), pass.Fset.Position(put.call.Pos()))
+	})
+}
+
+// packetArg returns the object of call.Args[i] when it is a plain
+// identifier of type *packet.Packet, else nil.
+func packetArg(info *types.Info, call *ast.CallExpr, i int) types.Object {
+	if i < 0 || i >= len(call.Args) {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[i]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := lintutil.ObjectOf(info, id)
+	if obj == nil {
+		return nil
+	}
+	if !lintutil.NamedTypeIs(obj.Type(), packetPkg, "Packet") {
+		return nil
+	}
+	if _, isPtr := obj.Type().(*types.Pointer); !isPtr {
+		return nil
+	}
+	return obj
+}
+
+// rebind records an assignment whose LHS includes a tracked variable.
+type rebind struct {
+	obj types.Object
+	id  *ast.Ident // the LHS identifier
+}
+
+// rebindsIn collects assignments to identifiers within body.
+func rebindsIn(info *types.Info, body *ast.BlockStmt) []rebind {
+	var out []rebind
+	inspectShallow(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj := lintutil.ObjectOf(info, id); obj != nil {
+					out = append(out, rebind{obj, id})
+				}
+			}
+		}
+	})
+	return out
+}
+
+// nextRebind returns the position of the first rebinding of obj at or
+// after pos, or token.Pos max if none.
+func nextRebind(rebinds []rebind, obj types.Object, pos token.Pos) token.Pos {
+	limit := token.Pos(1 << 30)
+	for _, r := range rebinds {
+		if r.obj == obj && r.id.Pos() >= pos && r.id.Pos() < limit {
+			limit = r.id.Pos()
+		}
+	}
+	return limit
+}
+
+// reboundBetween reports whether obj is reassigned in (lo, hi).
+func reboundBetween(rebinds []rebind, obj types.Object, lo, hi token.Pos) bool {
+	for _, r := range rebinds {
+		if r.obj == obj && r.id.Pos() > lo && r.id.Pos() < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// isRebindLHS reports whether the identifier is the LHS of a recorded
+// assignment (writing a fresh value into the variable is not a use of
+// the freed packet).
+func isRebindLHS(rebinds []rebind, id *ast.Ident) bool {
+	for _, r := range rebinds {
+		if r.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectShallow walks n but does not descend into nested function
+// literals: a closure body runs at a different time, so source order
+// against the enclosing function is not an execution order.
+func inspectShallow(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		if c != nil {
+			fn(c)
+		}
+		return true
+	})
+}

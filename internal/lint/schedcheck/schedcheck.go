@@ -1,0 +1,153 @@
+// Package schedcheck implements the mnlint analyzer that audits event
+// scheduling arguments for the two classic simulated-time bugs:
+//
+//   - possibly-negative delays: passing a difference of two sim.Time
+//     values (t1 - t2) to Engine.Schedule/ScheduleArg, or an absolute
+//     time built by subtraction to Engine.At/AtArg. The engine panics
+//     on negative delays at runtime, but only on the (possibly rare,
+//     workload-dependent) execution that actually goes negative;
+//     statically the subtraction is the smell. Annotate provably
+//     monotonic arithmetic with //lint:monotonic <reason>.
+//
+//   - float-derived delays: converting a float expression straight to
+//     sim.Time inside a scheduling argument. Float rounding is
+//     platform- and optimization-stable in Go, but accumulating float
+//     durations drifts from the integer-picosecond model; conversions
+//     belong in configuration code (sim.FromNanos) with hot paths
+//     staying in integer arithmetic.
+//
+// Constant arguments are exempt (a negative constant is reported
+// directly; a constant float literal like sim.Time(1.5) is exact).
+package schedcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"memnet/internal/lint/analysis"
+	"memnet/internal/lint/lintutil"
+)
+
+// Analyzer is the schedcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "schedcheck",
+	Doc: "flag event scheduling with possibly-negative (t1 - t2) or " +
+		"float-derived delays; annotate intentional arithmetic //lint:monotonic",
+	Run: run,
+}
+
+const simPkg = "memnet/internal/sim"
+
+// schedMethods maps Engine scheduling entry points to the index of the
+// time/delay argument and whether that argument is a relative delay.
+var schedMethods = map[string]struct {
+	argIndex int
+	relative bool
+}{
+	"Schedule":    {0, true},
+	"ScheduleArg": {0, true},
+	"At":          {0, false},
+	"AtArg":       {0, false},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := lintutil.NewDirectives(pass.Fset, pass.Files)
+	analysis.Inspect(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		m, ok := schedMethods[fn.Name()]
+		if !ok || len(call.Args) <= m.argIndex {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil ||
+			!lintutil.NamedTypeIs(sig.Recv().Type(), simPkg, "Engine") {
+			return true
+		}
+		checkTimeArg(pass, dirs, call, call.Args[m.argIndex], m.relative)
+		return true
+	})
+	return nil, nil
+}
+
+func checkTimeArg(pass *analysis.Pass, dirs *lintutil.Directives, call *ast.CallExpr, arg ast.Expr, relative bool) {
+	info := pass.TypesInfo
+	// Constants are decided at compile time: flag a negative constant
+	// delay outright, accept everything else.
+	if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+		if relative && constant.Sign(tv.Value) < 0 {
+			pass.Reportf(arg.Pos(), "negative constant delay %s", tv.Value)
+		}
+		return
+	}
+	what := "delay"
+	if !relative {
+		what = "absolute time"
+	}
+	ast.Inspect(arg, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BinaryExpr:
+			if e.Op.String() != "-" {
+				return true
+			}
+			if !isSimTime(info, e.X) || isConstant(info, e) {
+				return true
+			}
+			if dirs.Allows(call.Pos(), "monotonic") || dirs.Allows(e.Pos(), "monotonic") {
+				return true
+			}
+			pass.Reportf(e.Pos(),
+				"possibly-negative %s (%s involves a sim.Time subtraction); guard against going negative or annotate //lint:monotonic <reason>",
+				what, exprKind(e))
+		case *ast.UnaryExpr:
+			if e.Op.String() == "-" && isSimTime(info, e) && !isConstant(info, e) {
+				pass.Reportf(e.Pos(), "negated sim.Time in %s argument", what)
+			}
+		case *ast.CallExpr:
+			// A conversion sim.Time(f) where f is float-typed.
+			tv, ok := info.Types[e.Fun]
+			if !ok || !tv.IsType() || len(e.Args) != 1 {
+				return true
+			}
+			if !lintutil.NamedTypeIs(tv.Type, simPkg, "Time") {
+				return true
+			}
+			at := info.TypeOf(e.Args[0])
+			if at == nil || isConstant(info, e.Args[0]) {
+				return true
+			}
+			if b, ok := at.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				pass.Reportf(e.Pos(),
+					"float-derived %s: sim.Time conversion of a float expression; compute in integer picoseconds (or convert once at configuration time via sim.FromNanos)",
+					what)
+			}
+		}
+		return true
+	})
+}
+
+// isSimTime reports whether the expression's type is sim.Time.
+func isSimTime(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && lintutil.NamedTypeIs(t, simPkg, "Time")
+}
+
+// isConstant reports whether the expression folds to a constant.
+func isConstant(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// exprKind names the subtraction shape for the message.
+func exprKind(e *ast.BinaryExpr) string {
+	return "t1 - t2"
+}

@@ -1,0 +1,12 @@
+package schedcheck_test
+
+import (
+	"testing"
+
+	"memnet/internal/lint/analysistest"
+	"memnet/internal/lint/schedcheck"
+)
+
+func TestSchedcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), schedcheck.Analyzer, "b")
+}

@@ -1,0 +1,67 @@
+// Package b exercises schedcheck against the real sim engine API.
+package b
+
+import "memnet/internal/sim"
+
+// Bad: a difference of two sim.Times can go negative and panic the
+// engine on whichever seed first makes t2 exceed t1.
+func subtractedDelay(eng *sim.Engine, t1, t2 sim.Time, f sim.Handler) {
+	eng.Schedule(t1-t2, f) // want `possibly-negative delay`
+}
+
+// Bad: the same subtraction buried in a larger expression.
+func nestedSubtraction(eng *sim.Engine, ready sim.Time, f sim.Handler) {
+	eng.Schedule(2*(ready-eng.Now()), f) // want `possibly-negative delay`
+}
+
+// Bad: absolute-time scheduling built by subtraction.
+func absoluteSubtraction(eng *sim.Engine, deadline, slack sim.Time, f sim.Handler) {
+	eng.At(deadline-slack, f) // want `possibly-negative absolute time`
+}
+
+// Bad: float-derived delay on a scheduling path.
+func floatDelay(eng *sim.Engine, ns float64, f sim.Handler) {
+	eng.Schedule(sim.Time(ns*1000), f) // want `float-derived delay`
+}
+
+// Bad: negated variable delay.
+func negatedDelay(eng *sim.Engine, d sim.Time, f sim.Handler) {
+	eng.Schedule(-d, f) // want `negated sim\.Time in delay argument`
+}
+
+// Bad: a constant negative delay is always wrong.
+func constantNegative(eng *sim.Engine, f sim.Handler) {
+	eng.Schedule(-5, f) // want `negative constant delay -5`
+}
+
+// Good: additive arithmetic cannot go below its operands.
+func additive(eng *sim.Engine, d sim.Time, f sim.Handler) {
+	eng.Schedule(d+sim.Nanosecond, f)
+	eng.At(eng.Now()+d, f)
+}
+
+// Good: constant delays, including exact float literals.
+func constants(eng *sim.Engine, f sim.Handler) {
+	eng.Schedule(5*sim.Nanosecond, f)
+	eng.Schedule(sim.Time(1.5e3), f)
+}
+
+// Good: an annotated subtraction whose monotonicity the author proves.
+func annotated(eng *sim.Engine, until sim.Time, f sim.Handler) {
+	if until <= eng.Now() {
+		return
+	}
+	//lint:monotonic guarded above: until > Now(), so the difference is positive
+	eng.Schedule(until-eng.Now(), f)
+}
+
+// Good: the bound-callback variants take the same scrutiny.
+func argVariants(eng *sim.Engine, d sim.Time, g sim.ArgHandler) {
+	eng.ScheduleArg(d, g, 1)
+	eng.AtArg(eng.Now()+d, g, 2)
+}
+
+// Bad: ScheduleArg with a subtraction.
+func argSubtraction(eng *sim.Engine, a, b sim.Time, g sim.ArgHandler) {
+	eng.ScheduleArg(a-b, g, nil) // want `possibly-negative delay`
+}

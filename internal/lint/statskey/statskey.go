@@ -1,0 +1,113 @@
+// Package statskey implements the mnlint analyzer that keeps formatted
+// string keys and string-keyed counter maps out of simulation hot
+// paths.
+//
+// Building a stat key with fmt.Sprintf (or indexing a counter map by a
+// freshly formatted string) on a per-packet or per-event path allocates
+// on every call and funnels the hot loop through reflection-based
+// formatting — the exact pattern the PR 1 engine overhaul removed.
+// Counters in simulation packages should be plain struct fields
+// (stats.Collector, stats.FaultCounters) or slices indexed by small
+// integer ids; formatted labels belong in the reporting layer
+// (internal/experiments, cmd/...), which runs once per experiment, not
+// per event. Cold-path exceptions can be annotated //lint:coldpath.
+package statskey
+
+import (
+	"go/ast"
+	"go/types"
+
+	"memnet/internal/lint/analysis"
+	"memnet/internal/lint/lintutil"
+)
+
+// Analyzer is the statskey analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "statskey",
+	Doc: "flag fmt-built stat keys and string-keyed counter maps in " +
+		"simulation packages (use struct counters or integer-indexed slices)",
+	Run: run,
+}
+
+// fmtBuilders are the fmt functions that allocate a formatted string.
+var fmtBuilders = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Appendf": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.SimPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	dirs := lintutil.NewDirectives(pass.Fset, pass.Files)
+	info := pass.TypesInfo
+	analysis.Inspect(pass, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.IndexExpr:
+			// m[fmt.Sprintf(...)] — a formatted map key.
+			if !lintutil.IsMapType(info, e.X) {
+				return true
+			}
+			if call := fmtCall(info, e.Index); call != nil && !dirs.Allows(e.Pos(), "coldpath") {
+				pass.Reportf(e.Index.Pos(),
+					"fmt-built map key in simulation package; key by a typed value (struct or integer id) or annotate //lint:coldpath")
+			}
+		}
+		return true
+	})
+
+	// String-keyed counter maps declared in simulation packages: a
+	// make(map[string]<numeric>) is almost always a per-event counter
+	// that should be a struct field or an indexed slice.
+	analysis.Inspect(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fun.Name != "make" || len(call.Args) == 0 {
+			return true
+		}
+		if b, ok := info.Uses[fun].(*types.Builtin); !ok || b.Name() != "make" {
+			return true
+		}
+		t := info.TypeOf(call.Args[0])
+		if t == nil {
+			return true
+		}
+		mt, ok := t.Underlying().(*types.Map)
+		if !ok {
+			return true
+		}
+		kb, ok := mt.Key().Underlying().(*types.Basic)
+		if !ok || kb.Info()&types.IsString == 0 {
+			return true
+		}
+		vb, ok := mt.Elem().Underlying().(*types.Basic)
+		if !ok || vb.Info()&(types.IsInteger|types.IsFloat) == 0 {
+			return true
+		}
+		if dirs.Allows(call.Pos(), "coldpath") {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"string-keyed counter map (%s) constructed in simulation package; use struct counter fields or an integer-indexed slice, or annotate //lint:coldpath", mt)
+		return true
+	})
+	return nil, nil
+}
+
+// fmtCall returns e as a call to a fmt string builder, or nil.
+func fmtCall(info *types.Info, e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := lintutil.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return nil
+	}
+	if !fmtBuilders[fn.Name()] {
+		return nil
+	}
+	return call
+}

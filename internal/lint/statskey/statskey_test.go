@@ -1,0 +1,14 @@
+package statskey_test
+
+import (
+	"testing"
+
+	"memnet/internal/lint/analysistest"
+	"memnet/internal/lint/statskey"
+)
+
+func TestStatskey(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), statskey.Analyzer,
+		"memnet/internal/vault/sk",
+	)
+}

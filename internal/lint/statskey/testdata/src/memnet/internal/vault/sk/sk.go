@@ -1,0 +1,43 @@
+// Package sk is a statskey fixture posing as simulation code.
+package sk
+
+import "fmt"
+
+// Bad: a per-event counter map keyed by strings.
+func newCounters() map[string]uint64 {
+	return make(map[string]uint64) // want `string-keyed counter map`
+}
+
+// Bad: formatting a key on every access.
+func countBank(m map[string]uint64, bank int) {
+	m[fmt.Sprintf("bank%d", bank)]++ // want `fmt-built map key in simulation package`
+}
+
+// Bad: fmt.Sprint variant used as a lookup key.
+func lookup(m map[string]float64, id uint64) float64 {
+	return m[fmt.Sprint(id)] // want `fmt-built map key in simulation package`
+}
+
+// Good: integer-keyed maps are deterministic to build and cheap to hash.
+func newByBank(banks int) map[int]uint64 {
+	m := make(map[int]uint64, banks)
+	return m
+}
+
+// Good: string-keyed sets (non-numeric values) are not counters.
+func newSeen() map[string]struct{} {
+	return make(map[string]struct{})
+}
+
+// Good: struct-field counters — the idiom the analyzer pushes toward.
+type counters struct {
+	reads, writes uint64
+}
+
+func (c *counters) read() { c.reads++ }
+
+// Good: an annotated cold-path exception (built once per run).
+func newLabels() map[string]int {
+	//lint:coldpath built once at configuration time, never touched per event
+	return make(map[string]int)
+}

@@ -1,0 +1,30 @@
+// Package wc is a wallclock fixture posing as simulation code.
+package wc
+
+import (
+	"math/rand" // want `import of math/rand in simulation package`
+	"time"
+)
+
+// Bad: host clock reads and sleeps inside simulation code.
+func badClock() time.Duration {
+	start := time.Now()          // want `wall-clock time\.Now in simulation package`
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep in simulation package`
+	return time.Since(start)     // want `wall-clock time\.Since in simulation package`
+}
+
+// Bad: taking the function value is as wrong as calling it.
+func badValue() func() time.Time {
+	return time.Now // want `wall-clock time\.Now in simulation package`
+}
+
+// Bad: process-global generator draws.
+func badRand() int {
+	return rand.Intn(8)
+}
+
+// Good: time.Duration as a pure type, and constant durations, are not
+// wall-clock reads.
+func goodDuration(ps int64) time.Duration {
+	return time.Duration(ps) * time.Nanosecond
+}

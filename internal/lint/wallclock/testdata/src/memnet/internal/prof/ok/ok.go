@@ -1,0 +1,11 @@
+// Package ok checks the allowlist: internal/prof (and cmd/...) may
+// read the wall clock — profiling wants real time.
+package ok
+
+import "time"
+
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,81 @@
+// Package wallclock implements the mnlint analyzer that keeps host
+// wall-clock time and Go's global random generators out of simulation
+// packages.
+//
+// memnet models time as integer picoseconds on a deterministic event
+// engine; reading the host clock (time.Now and friends) or drawing from
+// math/rand's process-global, Go-release-dependent generator inside
+// simulation code silently breaks bit-identical replay. Simulation
+// packages must use sim.Time / sim.Engine.Now for time and a seeded
+// *sim.Rand for randomness. The profiler (internal/prof), command-line
+// front ends (cmd/...), and the linter itself are exempt — wall-clock
+// reporting belongs there.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"memnet/internal/lint/analysis"
+	"memnet/internal/lint/lintutil"
+)
+
+// Analyzer is the wallclock analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Since/Sleep and math/rand in simulation packages " +
+		"(use sim.Engine time and seeded sim.Rand)",
+	Run: run,
+}
+
+// bannedTimeFuncs are the package time entry points that observe or
+// depend on the host clock. Pure types and conversions (time.Duration,
+// time.Nanosecond) remain allowed.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// bannedImports are process-global RNG packages; any import in
+// simulation code is a finding, since even a seeded top-level use would
+// share state across simulation instances.
+var bannedImports = map[string]string{
+	"math/rand":    "use a seeded *sim.Rand (per instance) instead of the global math/rand",
+	"math/rand/v2": "use a seeded *sim.Rand (per instance) instead of math/rand/v2",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.SimPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := bannedImports[path]; bad {
+				pass.Reportf(imp.Pos(), "import of %s in simulation package; %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if bannedTimeFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"wall-clock time.%s in simulation package; use the sim.Engine clock (Engine.Now / Schedule)",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

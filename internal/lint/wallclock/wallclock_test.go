@@ -1,0 +1,15 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"memnet/internal/lint/analysistest"
+	"memnet/internal/lint/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wallclock.Analyzer,
+		"memnet/internal/core/wc",
+		"memnet/internal/prof/ok",
+	)
+}

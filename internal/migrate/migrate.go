@@ -14,6 +14,7 @@ package migrate
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"memnet/internal/config"
@@ -260,6 +261,26 @@ func (m *Manager) setMap(logical, physical uint64) {
 // reporting).
 func (m *Manager) RemapSize() int { return len(m.remap) }
 
+// Fingerprint hashes the indirection table in sorted key order. Two
+// identically-seeded runs must produce equal fingerprints; the
+// migration determinism regression test compares them because the
+// coarse Results metrics can coincide even when order-dependent swap
+// decisions picked different blocks (timing-symmetric frames).
+func (m *Manager) Fingerprint() uint64 {
+	logicals := make([]uint64, 0, len(m.remap))
+	for logical := range m.remap {
+		logicals = append(logicals, logical)
+	}
+	slices.Sort(logicals)
+	const prime = 1099511628211 // FNV-1a 64-bit
+	h := uint64(14695981039346656037)
+	for _, l := range logicals {
+		h = (h ^ l) * prime
+		h = (h ^ m.remap[l]) * prime
+	}
+	return h
+}
+
 // Validate checks the indirection table's correctness invariant: it
 // must be injective (no two logical blocks resolving to the same
 // physical home — that would alias data), and every displaced physical
@@ -267,17 +288,24 @@ func (m *Manager) RemapSize() int { return len(m.remap) }
 // chains keep the table a permutation even when it stops being a simple
 // involution.
 func (m *Manager) Validate() error {
+	// Walk the table in sorted key order so that, when the invariant is
+	// broken, every run reports the same violation — map-order error
+	// selection is exactly the nondeterminism mnlint's detmap forbids.
+	logicals := make([]uint64, 0, len(m.remap))
+	for logical := range m.remap {
+		logicals = append(logicals, logical)
+	}
+	slices.Sort(logicals)
 	phys := make(map[uint64]uint64, len(m.remap))
-	displaced := make(map[uint64]bool, len(m.remap))
-	for logical, p := range m.remap {
+	for _, logical := range logicals {
+		p := m.remap[logical]
 		if prev, dup := phys[p]; dup {
 			return fmt.Errorf("migrate: blocks %#x and %#x alias physical %#x",
 				prev, logical, p)
 		}
 		phys[p] = logical
-		displaced[logical] = true
 	}
-	for logical := range m.remap {
+	for _, logical := range logicals {
 		// The physical frame named "logical" was vacated; someone must
 		// occupy it (possibly transitively), i.e. it appears as a target
 		// or its own entry exists.

@@ -212,3 +212,52 @@ func TestSwapChainsStayBijective(t *testing.T) {
 		seen[p] = true
 	}
 }
+
+// TestValidateDeterministicError pins the sorted-key walk in Validate:
+// with several invariant violations present, every call must pick the
+// same one (the smallest offending logical block), not whichever a map
+// range happens to visit first.
+func TestValidateDeterministicError(t *testing.T) {
+	_, m, _ := newTestManager(t)
+	// Three logical blocks aliasing the same physical frame.
+	m.remap[0x1000] = 0xF000
+	m.remap[0x2000] = 0xF000
+	m.remap[0x3000] = 0xF000
+	// Make the frames they vacated "occupied" so aliasing is the only
+	// violation class.
+	m.remap[0xF000] = 0x1000
+	m.remap[0x4000] = 0x2000
+	m.remap[0x5000] = 0x3000
+	first, err := m.Validate(), error(nil)
+	if first == nil {
+		t.Fatal("Validate accepted an aliased table")
+	}
+	_ = err
+	for i := 0; i < 32; i++ {
+		if got := m.Validate(); got == nil || got.Error() != first.Error() {
+			t.Fatalf("Validate error changed between calls:\n  first: %v\n  now:   %v", first, got)
+		}
+	}
+	want := "migrate: blocks 0x1000 and 0x2000 alias physical 0xf000"
+	if first.Error() != want {
+		t.Fatalf("Validate error = %q, want %q", first, want)
+	}
+}
+
+// TestFingerprintStable checks that Fingerprint is a pure function of
+// the table contents, independent of insertion order.
+func TestFingerprintStable(t *testing.T) {
+	_, m1, _ := newTestManager(t)
+	_, m2, _ := newTestManager(t)
+	m1.remap[1] = 100
+	m1.remap[2] = 200
+	m2.remap[2] = 200
+	m2.remap[1] = 100
+	if m1.Fingerprint() != m2.Fingerprint() {
+		t.Fatal("fingerprint depends on insertion order")
+	}
+	m2.remap[3] = 300
+	if m1.Fingerprint() == m2.Fingerprint() {
+		t.Fatal("fingerprint blind to table contents")
+	}
+}

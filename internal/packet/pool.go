@@ -12,6 +12,12 @@ package packet
 // pools), which keeps the free list lock-free.
 type Pool struct {
 	free []*Packet
+
+	// inPool tracks free-list membership for the double-free guard. It
+	// is only populated under the simdebug build tag (poolDebug); in
+	// normal builds it stays nil and the guard code is eliminated as
+	// dead, so the hot path pays nothing.
+	inPool map[*Packet]struct{}
 }
 
 // Get returns a zeroed packet, reusing a retired one when available.
@@ -20,6 +26,9 @@ func (pl *Pool) Get() *Packet {
 		p := pl.free[n-1]
 		pl.free[n-1] = nil
 		pl.free = pl.free[:n-1]
+		if poolDebug {
+			pl.debugGet(p)
+		}
 		return p
 	}
 	return new(Packet)
@@ -27,8 +36,14 @@ func (pl *Pool) Get() *Packet {
 
 // Put recycles a retired packet. The packet is zeroed immediately so a
 // stale timestamp or address can never leak into its next transaction,
-// and the caller must not retain the pointer.
+// and the caller must not retain the pointer. Returning a packet that
+// is already on the free list is a use-after-free in waiting; builds
+// with -tags simdebug panic on it immediately (the runtime backstop to
+// mnlint's static poolcheck rule).
 func (pl *Pool) Put(p *Packet) {
+	if poolDebug {
+		pl.debugPut(p)
+	}
 	*p = Packet{}
 	pl.free = append(pl.free, p)
 }

@@ -1,0 +1,25 @@
+//go:build simdebug
+
+package packet
+
+// poolDebug enables the free-list membership guard. Build with
+// -tags simdebug to turn a silent double-Put (two aliases of one
+// packet on the free list, which Get later hands to two concurrent
+// transactions) into an immediate panic at the offending call site.
+const poolDebug = true
+
+// debugPut records p as pooled, panicking on a double free.
+func (pl *Pool) debugPut(p *Packet) {
+	if _, pooled := pl.inPool[p]; pooled {
+		panic("packet: double Put: packet is already on the pool free list")
+	}
+	if pl.inPool == nil {
+		pl.inPool = make(map[*Packet]struct{})
+	}
+	pl.inPool[p] = struct{}{}
+}
+
+// debugGet clears p's pooled mark when it is reissued.
+func (pl *Pool) debugGet(p *Packet) {
+	delete(pl.inPool, p)
+}

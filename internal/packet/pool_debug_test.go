@@ -1,0 +1,38 @@
+//go:build simdebug
+
+package packet
+
+import "testing"
+
+// TestDoublePutPanics checks the simdebug double-free guard: returning
+// a packet that is already on the free list must panic at the second
+// Put, not corrupt the free list silently.
+func TestDoublePutPanics(t *testing.T) {
+	var pl Pool
+	p := pl.Get()
+	pl.Put(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Put of the same packet did not panic under simdebug")
+		}
+	}()
+	pl.Put(p)
+}
+
+// TestPoolRoundTripsUnderGuard checks the guard stays silent across
+// legitimate reuse cycles, including interleaved packets.
+func TestPoolRoundTripsUnderGuard(t *testing.T) {
+	var pl Pool
+	a, b := pl.Get(), pl.Get()
+	pl.Put(a)
+	pl.Put(b)
+	for i := 0; i < 100; i++ {
+		p := pl.Get()
+		q := pl.Get()
+		pl.Put(q)
+		pl.Put(p)
+	}
+	if pl.Free() != 2 {
+		t.Fatalf("free-list depth = %d, want 2", pl.Free())
+	}
+}

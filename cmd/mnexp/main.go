@@ -30,6 +30,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "workload seed")
 		format  = flag.String("format", "text", "text | csv | chart")
 		outDir  = flag.String("out", "", "directory for per-experiment output files (default stdout)")
+		maniOut = flag.String("manifest", "", "write a campaign manifest (options, git ref, every table) as JSON to this file")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -87,6 +88,7 @@ func main() {
 		}
 	}
 
+	manifest := experiments.NewRunManifest(opts)
 	for _, e := range all {
 		if !want[e.id] {
 			continue
@@ -100,6 +102,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mnexp: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		manifest.Add(tab)
 		switch *format {
 		case "csv":
 			emit(e.id, tab.CSV(), *outDir, "csv")
@@ -108,6 +111,22 @@ func main() {
 		default:
 			emit(e.id, tab.Text(), *outDir, "txt")
 		}
+	}
+	if *maniOut != "" {
+		f, err := os.Create(*maniOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mnexp:", err)
+			os.Exit(1)
+		}
+		err = manifest.Encode(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mnexp:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *maniOut)
 	}
 }
 

@@ -1,0 +1,45 @@
+// Command mnschema validates memnet run-manifest JSON files against the
+// checked-in schema (internal/obs/manifest.schema.json). CI uses it as
+// the smoke check that mnsim -metrics-out output stays well-formed.
+//
+//	mnschema manifest.json [more.json ...]
+//	mnschema -print            # dump the embedded schema
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memnet/internal/obs"
+)
+
+func main() {
+	printSchema := flag.Bool("print", false, "print the embedded run-manifest schema and exit")
+	flag.Parse()
+
+	if *printSchema {
+		os.Stdout.Write(obs.ManifestSchemaJSON())
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mnschema [-print] manifest.json ...")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range flag.Args() {
+		doc, err := os.ReadFile(path)
+		if err == nil {
+			err = obs.ValidateManifestJSON(doc)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mnschema: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

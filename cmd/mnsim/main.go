@@ -11,12 +11,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"memnet"
+	"memnet/internal/obs"
 	"memnet/internal/prof"
 )
 
@@ -44,8 +46,21 @@ func main() {
 		traceN    = flag.Int("trace", 0, "print the last N packet lifecycle events")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		reportJSON = flag.Bool("report-json", false, "print the run record (per-node report, results, config) as manifest-schema JSON")
+		metricsOut = flag.String("metrics-out", "", "write the run manifest JSON (config, seed, metrics, fairness) to this file; enables telemetry")
+		sampleIv   = flag.Duration("sample-interval", 0, "telemetry gauge-sampling interval in sim time (default 10us); enables telemetry")
+		perfOut    = flag.String("perfetto-out", "", "write packet lifecycles and sampled counters as Perfetto/Chrome trace JSON (implies -trace 4096 unless set); enables telemetry")
+		seriesOut  = flag.String("series-out", "", "write the sampled gauge time series as CSV; enables telemetry")
 	)
 	flag.Parse()
+
+	// With -report-json the manifest owns stdout; the human summary
+	// moves to stderr so the JSON stays pipeable.
+	status := io.Writer(os.Stdout)
+	if *reportJSON {
+		status = os.Stderr
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	check(err)
@@ -85,6 +100,15 @@ func main() {
 		cfg.Record = true
 	}
 	cfg.TraceDepth = *traceN
+	if *metricsOut != "" || *sampleIv > 0 || *perfOut != "" || *seriesOut != "" {
+		cfg.Telemetry = &memnet.TelemetryConfig{
+			Enabled:        true,
+			SampleInterval: memnet.Time(sampleIv.Nanoseconds()) * memnet.Nanosecond,
+		}
+		if *perfOut != "" && cfg.TraceDepth == 0 {
+			cfg.TraceDepth = 4096
+		}
+	}
 	if *replayFrm != "" {
 		f, err := os.Open(*replayFrm)
 		check(err)
@@ -99,18 +123,18 @@ func main() {
 	res, err := in.Run()
 	check(err)
 
-	fmt.Printf("config        %s  arb=%s  workload=%s\n", res.Label, *arbFlag, res.Workload)
-	fmt.Printf("finish time   %v  (%d transactions)\n", res.FinishTime, res.Transactions)
-	fmt.Printf("mean latency  %v  (to-mem %v | in-mem %v | from-mem %v)\n",
+	fmt.Fprintf(status, "config        %s  arb=%s  workload=%s\n", res.Label, *arbFlag, res.Workload)
+	fmt.Fprintf(status, "finish time   %v  (%d transactions)\n", res.FinishTime, res.Transactions)
+	fmt.Fprintf(status, "mean latency  %v  (to-mem %v | in-mem %v | from-mem %v)\n",
 		res.MeanLatency, res.Breakdown.ToMem, res.Breakdown.InMem, res.Breakdown.FromMem)
-	fmt.Printf("traffic       %d reads / %d writes, %.2f mean hops\n",
+	fmt.Fprintf(status, "traffic       %d reads / %d writes, %.2f mean hops\n",
 		res.Reads, res.Writes, res.MeanHops)
-	fmt.Printf("energy        %.1f uJ network | %.1f uJ read | %.1f uJ write\n",
+	fmt.Fprintf(status, "energy        %.1f uJ network | %.1f uJ read | %.1f uJ write\n",
 		res.Energy.NetworkPJ/1e6, res.Energy.ReadPJ/1e6, res.Energy.WritePJ/1e6)
 	if f := res.Fault; f.Any() {
-		fmt.Printf("fault         crc=%d retries=%d dropped=%d rerouted=%d bounced=%d rehomed=%d\n",
+		fmt.Fprintf(status, "fault         crc=%d retries=%d dropped=%d rerouted=%d bounced=%d rehomed=%d\n",
 			f.CRCErrors, f.Retries, f.Dropped, f.Rerouted, f.Bounced, f.Rehomed)
-		fmt.Printf("              lane-fails=%d links-killed=%d cubes-killed=%d\n",
+		fmt.Fprintf(status, "              lane-fails=%d links-killed=%d cubes-killed=%d\n",
 			f.LaneFails, f.LinksKilled, f.CubesKilled)
 	}
 	if *recordTo != "" {
@@ -118,19 +142,47 @@ func main() {
 		check(err)
 		check(memnet.WriteTraceTo(f, in.Recorder.Trace()))
 		check(f.Close())
-		fmt.Printf("trace         wrote %d transactions to %s\n",
+		fmt.Fprintf(status, "trace         wrote %d transactions to %s\n",
 			len(in.Recorder.Trace()), *recordTo)
 	}
 	if *traceN > 0 {
-		fmt.Printf("\nlast %d of %d lifecycle events:\n%s",
+		fmt.Fprintf(status, "\nlast %d of %d lifecycle events:\n%s",
 			len(in.Trace.Events()), in.Trace.Total(), in.Trace.String())
 	}
+	var sampler *obs.Sampler
+	if in.Telemetry != nil {
+		sampler = in.Telemetry.Sampler
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		check(err)
+		check(in.Manifest(res).Encode(f))
+		check(f.Close())
+		fmt.Fprintf(status, "manifest      wrote %s\n", *metricsOut)
+	}
+	if *seriesOut != "" {
+		f, err := os.Create(*seriesOut)
+		check(err)
+		check(sampler.WriteCSV(f))
+		check(f.Close())
+		fmt.Fprintf(status, "series        wrote %d samples to %s\n", sampler.Samples(), *seriesOut)
+	}
+	if *perfOut != "" {
+		f, err := os.Create(*perfOut)
+		check(err)
+		check(memnet.WritePerfetto(f, in.Trace, sampler))
+		check(f.Close())
+		fmt.Fprintf(status, "perfetto      wrote %s (open in https://ui.perfetto.dev)\n", *perfOut)
+	}
+	if *reportJSON {
+		check(in.Manifest(res).Encode(os.Stdout))
+	}
 	if *verbose {
-		fmt.Printf("sim events    %d\n", res.Events)
+		fmt.Fprintf(status, "sim events    %d\n", res.Events)
 		toF, inF, fromF := res.Breakdown.Fractions()
-		fmt.Printf("latency split %.0f%% to-mem / %.0f%% in-mem / %.0f%% from-mem\n",
+		fmt.Fprintf(status, "latency split %.0f%% to-mem / %.0f%% in-mem / %.0f%% from-mem\n",
 			toF*100, inF*100, fromF*100)
-		fmt.Printf("\nper-node report (port 0's network):\n%s", in.ReportText())
+		fmt.Fprintf(status, "\nper-node report (port 0's network):\n%s", in.ReportText())
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"memnet/internal/host"
 	"memnet/internal/link"
 	"memnet/internal/migrate"
+	"memnet/internal/obs"
 	"memnet/internal/packet"
 	"memnet/internal/router"
 	"memnet/internal/sim"
@@ -139,7 +140,13 @@ type Params struct {
 	// failures, link kills, cube kills with route-around and address
 	// re-homing, and the progress watchdog. A nil or disabled Fault
 	// leaves the simulation bit-identical to a build without it.
-	Fault  *fault.Config
+	Fault *fault.Config
+	// Obs, when non-nil and enabled, arms the telemetry layer
+	// (internal/obs): metrics registry, interval sampler, and the
+	// exporters behind Instance.Telemetry and Instance.Manifest.
+	// Telemetry never changes what the simulation does: Results are
+	// bit-identical with Obs enabled and disabled.
+	Obs    *obs.Config
 	Tuning Tuning
 }
 
@@ -173,6 +180,9 @@ type Instance struct {
 
 	// Watchdog is non-nil when Params.Fault armed the progress watchdog.
 	Watchdog *sim.Watchdog
+
+	// Telemetry is non-nil when Params.Obs armed the metrics layer.
+	Telemetry *Telemetry
 
 	routers   map[packet.NodeID]*router.Router
 	quadrants map[packet.NodeID][]*vault.Quadrant
@@ -518,6 +528,10 @@ func Build(p Params) (*Instance, error) {
 	hostPort.Attach(hostOut)
 	hostIn.SetDeliver(tap(func(pk *packet.Packet) {
 		vc := packet.VCOf(pk.Kind)
+		// Telemetry reads the response before Receive retires (and may
+		// pool) it; inst.Telemetry stays nil when Obs is off and the
+		// method no-ops on nil.
+		inst.Telemetry.complete(pk, eng.Now())
 		hostPort.Receive(pk)
 		hostIn.ReturnCredit(vc)
 	}, trace.Complete, packet.HostNode))
@@ -619,6 +633,13 @@ func Build(p Params) (*Instance, error) {
 			collector.Completed,
 			func() bool { return hostPort.Inflight() > 0 })
 		inst.Watchdog.Arm()
+	}
+
+	// Arm telemetry after the network is fully wired (every router port
+	// attached) so registration order — and therefore every export — is
+	// a pure function of the topology.
+	if p.Obs.On() {
+		buildTelemetry(inst, p.Obs)
 	}
 
 	// Prime the injection process.

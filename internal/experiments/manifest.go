@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime/debug"
+
+	"memnet/internal/obs"
+)
+
+// CampaignSchema identifies the mnexp campaign-manifest layout.
+const CampaignSchema = "memnet/exp-manifest/v1"
+
+// RunManifest is the machine-readable record of one mnexp campaign:
+// the options every run shared, the toolchain and git ref that produced
+// it, and every generated table. It is the experiment-level counterpart
+// of the per-run obs.Manifest.
+type RunManifest struct {
+	Schema    string   `json:"schema"`
+	GitRef    string   `json:"git_ref,omitempty"`
+	GoVersion string   `json:"go_version,omitempty"`
+	Options   Options  `json:"options"`
+	Tables    []*Table `json:"tables"`
+}
+
+// NewRunManifest returns a campaign manifest stamped with the schema
+// version, toolchain, and git ref.
+func NewRunManifest(opts Options) *RunManifest {
+	m := &RunManifest{Schema: CampaignSchema, GitRef: obs.GitRef(), Options: opts}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		m.GoVersion = info.GoVersion
+	}
+	return m
+}
+
+// Add appends a generated table (in campaign order).
+func (m *RunManifest) Add(t *Table) { m.Tables = append(m.Tables, t) }
+
+// Encode writes the manifest as indented JSON.
+func (m *RunManifest) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -262,6 +262,10 @@ func (p *Port) WriteShortcut() bool { return p.cfg.ShortcutEnable && p.shortcut 
 // Inflight reports the current window occupancy (for tests).
 func (p *Port) Inflight() int { return p.inflight }
 
+// Injected reports how many transactions have entered the network so
+// far (telemetry gauge).
+func (p *Port) Injected() uint64 { return p.injected }
+
 // LastArrival reports the arrival-process timestamp of the most recently
 // staged transaction (diagnostics).
 func (p *Port) LastArrival() sim.Time { return p.lastArrive }

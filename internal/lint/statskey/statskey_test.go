@@ -10,5 +10,6 @@ import (
 func TestStatskey(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), statskey.Analyzer,
 		"memnet/internal/vault/sk",
+		"memnet/internal/obs/reg",
 	)
 }

@@ -1,0 +1,60 @@
+// Package reg is a statskey fixture modelled on the internal/obs
+// registry: metric names are interned once at registration time into a
+// cold-path index map, and every hot-path mutation goes through a typed
+// handle that touches only slices — no string hashing per event.
+package reg
+
+import "fmt"
+
+// counter is the typed handle the hot path holds.
+type counter struct {
+	v uint64
+}
+
+func (c *counter) inc() { c.v++ }
+
+// registry mirrors obs.Registry: slices in registration order plus a
+// name index built once at startup.
+type registry struct {
+	counters []*counter
+	names    []string
+	index    map[string]int
+}
+
+// Good: the interning pattern — the duplicate-check map is constructed
+// once per run and annotated as cold path.
+func newRegistry() *registry {
+	return &registry{
+		//lint:coldpath name→index map built once at registration, never per event
+		index: make(map[string]int),
+	}
+}
+
+// Good: registration happens once; the fmt-built name lands in a slice
+// and a coldpath-annotated map, not on the hot path.
+func (r *registry) counterFor(node int) *counter {
+	name := fmt.Sprintf("node%d.grants", node)
+	//lint:coldpath registration-time duplicate check
+	if _, dup := r.index[name]; dup {
+		panic("duplicate metric " + name)
+	}
+	c := &counter{}
+	r.index[name] = len(r.counters)
+	r.names = append(r.names, name)
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Good: the hot path increments through the handle; no strings.
+func hotPath(c *counter) { c.inc() }
+
+// Bad: bypassing the handle and re-resolving a formatted name per event
+// is exactly what interning exists to avoid.
+func hotLookup(m map[string]uint64, node int) {
+	m[fmt.Sprintf("node%d.grants", node)]++ // want `fmt-built map key in simulation package`
+}
+
+// Bad: an ad-hoc string-keyed counter map instead of the registry.
+func adHocCounters() map[string]uint64 {
+	return make(map[string]uint64) // want `string-keyed counter map`
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime/debug"
+	"sort"
+)
+
+// ManifestSchema identifies the manifest layout; bump on breaking
+// changes. The checked-in manifest.schema.json validates this version.
+const ManifestSchema = "memnet/run-manifest/v1"
+
+// Manifest is the machine-readable record of one simulation run:
+// everything needed to reproduce it (config, seed, toolchain, git ref)
+// and everything it produced (results, per-node reports, metrics,
+// fairness series). Config, Results, Nodes, and Fault are typed by the
+// caller (core wires its own structs) so obs stays dependency-free.
+type Manifest struct {
+	Schema    string `json:"schema"`
+	GitRef    string `json:"git_ref,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+
+	Label    string `json:"label,omitempty"`
+	Seed     int64  `json:"seed"`
+	Workload string `json:"workload,omitempty"`
+
+	Config  any `json:"config,omitempty"`
+	Results any `json:"results,omitempty"`
+	Nodes   any `json:"nodes,omitempty"`
+	Fault   any `json:"fault,omitempty"`
+
+	SampleIntervalPs int64              `json:"sample_interval_ps,omitempty"`
+	Samples          int                `json:"samples,omitempty"`
+	Fairness         map[string]float64 `json:"fairness,omitempty"`
+
+	Metrics *MetricsDump `json:"metrics,omitempty"`
+}
+
+// MetricsDump is the end-of-run snapshot of a registry, sorted by
+// metric name within each kind for deterministic output.
+type MetricsDump struct {
+	Counters   []CounterDump `json:"counters,omitempty"`
+	Gauges     []GaugeDump   `json:"gauges,omitempty"`
+	Vecs       []VecDump     `json:"vecs,omitempty"`
+	Histograms []HistDump    `json:"histograms,omitempty"`
+}
+
+// CounterDump is one counter's final value.
+type CounterDump struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeDump is one gauge's value at dump time.
+type GaugeDump struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// VecDump is one vector's labelled values at dump time.
+type VecDump struct {
+	Name   string   `json:"name"`
+	Labels []string `json:"labels"`
+	Values []uint64 `json:"values"`
+	Jain   float64  `json:"jain"`
+}
+
+// HistDump summarizes one histogram: count, mean and nearest-rank
+// quantiles in picoseconds. Raw buckets are omitted — the histogram's
+// resolution (quarter-octave) makes the quantile set a faithful and far
+// smaller summary.
+type HistDump struct {
+	Name   string `json:"name"`
+	Count  uint64 `json:"count"`
+	MinPs  int64  `json:"min_ps"`
+	MaxPs  int64  `json:"max_ps"`
+	MeanPs int64  `json:"mean_ps"`
+	P50Ps  int64  `json:"p50_ps"`
+	P90Ps  int64  `json:"p90_ps"`
+	P99Ps  int64  `json:"p99_ps"`
+}
+
+// Dump snapshots every registered metric, sorted by name within each
+// kind. Probes are evaluated once, at call time; call it after the run
+// completes. A nil registry returns nil.
+func (r *Registry) Dump() *MetricsDump {
+	if r == nil {
+		return nil
+	}
+	d := &MetricsDump{}
+	for _, c := range r.counters {
+		d.Counters = append(d.Counters, CounterDump{Name: c.name, Value: c.v})
+	}
+	for i := range r.gauges {
+		g := &r.gauges[i]
+		d.Gauges = append(d.Gauges, GaugeDump{Name: g.name, Value: g.probe()})
+	}
+	for i := range r.vecs {
+		v := &r.vecs[i]
+		vals := append([]uint64(nil), v.probe()...)
+		d.Vecs = append(d.Vecs, VecDump{
+			Name:   v.name,
+			Labels: v.labels,
+			Values: vals,
+			Jain:   Jain(vals),
+		})
+	}
+	for _, h := range r.hists {
+		d.Histograms = append(d.Histograms, HistDump{
+			Name:   h.name,
+			Count:  h.Count(),
+			MinPs:  int64(h.Min()),
+			MaxPs:  int64(h.Max()),
+			MeanPs: int64(h.Mean()),
+			P50Ps:  int64(h.Quantile(0.50)),
+			P90Ps:  int64(h.Quantile(0.90)),
+			P99Ps:  int64(h.Quantile(0.99)),
+		})
+	}
+	sort.Slice(d.Counters, func(i, j int) bool { return d.Counters[i].Name < d.Counters[j].Name })
+	sort.Slice(d.Gauges, func(i, j int) bool { return d.Gauges[i].Name < d.Gauges[j].Name })
+	sort.Slice(d.Vecs, func(i, j int) bool { return d.Vecs[i].Name < d.Vecs[j].Name })
+	sort.Slice(d.Histograms, func(i, j int) bool { return d.Histograms[i].Name < d.Histograms[j].Name })
+	return d
+}
+
+// Attach fills the sampler-derived manifest fields: interval, sample
+// count, and the final cumulative Jain index per vector.
+func (m *Manifest) Attach(s *Sampler) {
+	if s == nil || s.Samples() == 0 {
+		return
+	}
+	m.SampleIntervalPs = int64(s.Interval())
+	m.Samples = s.Samples()
+	last := s.Samples() - 1
+	for i := range s.vecs {
+		row := s.vecRows[i][last]
+		if m.Fairness == nil {
+			//lint:coldpath end-of-run manifest assembly
+			m.Fairness = make(map[string]float64)
+		}
+		m.Fairness[s.vecs[i].name] = Jain(row)
+	}
+}
+
+// GitRef reports the VCS revision the binary was built from (via
+// runtime/debug build info), with a "+dirty" suffix for modified trees.
+// Empty when build info is unavailable (e.g. `go test` binaries).
+func GitRef() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	return rev + dirty
+}
+
+// NewManifest returns a manifest stamped with the schema version,
+// toolchain, and git ref.
+func NewManifest() *Manifest {
+	m := &Manifest{Schema: ManifestSchema, GitRef: GitRef()}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		m.GoVersion = info.GoVersion
+	}
+	return m
+}
+
+// Encode writes the manifest as indented JSON.
+func (m *Manifest) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -1,0 +1,188 @@
+// Package obs is memnet's sim-time telemetry layer: a deterministic,
+// allocation-conscious metrics registry (counters, probe-backed gauges,
+// integer-indexed vectors, and fixed-bucket log-scale latency
+// histograms), an interval sampler driven by the sim engine's probe
+// hook, and exporters (Perfetto trace-event JSON, run-manifest JSON, CSV
+// time series).
+//
+// Design rules, enforced by tests and mnlint:
+//
+//   - Keys are pre-interned: a metric's name string is stored once at
+//     registration (build time); hot paths hold the returned pointer and
+//     never format or hash a key. This is the statskey-clean idiom.
+//
+//   - Disabled telemetry is (nearly) free: every hot-path mutator is a
+//     method with a nil-receiver fast path, so instrumented code calls
+//     `c.Inc()` unconditionally and pays one predictable branch when
+//     telemetry is off.
+//
+//   - Telemetry never perturbs the simulation: gauges and vectors are
+//     read-only probes evaluated at sample boundaries (which are not
+//     events — see sim.Engine.SetProbe), and no obs code schedules
+//     events, so Results are bit-identical with telemetry on and off.
+//
+//   - Exports are deterministic: dumps sort by metric name, series keep
+//     registration order, and all iteration is over slices, never maps.
+package obs
+
+import (
+	"fmt"
+
+	"memnet/internal/sim"
+)
+
+// Config enables the telemetry layer on a simulation instance.
+type Config struct {
+	// Enabled arms metric registration and the interval sampler.
+	Enabled bool
+	// SampleInterval is the gauge-sampling period in sim time; zero
+	// means DefaultSampleInterval.
+	SampleInterval sim.Time
+}
+
+// DefaultSampleInterval is the sampling period used when a Config
+// enables telemetry without choosing one.
+const DefaultSampleInterval = 10 * sim.Microsecond
+
+// On reports whether c enables telemetry (nil-safe).
+func (c *Config) On() bool { return c != nil && c.Enabled }
+
+// Interval returns the effective sampling period (nil-safe).
+func (c *Config) Interval() sim.Time {
+	if c == nil || c.SampleInterval <= 0 {
+		return DefaultSampleInterval
+	}
+	return c.SampleInterval
+}
+
+// Counter is a monotonically increasing event count. The zero-cost
+// disabled path is a nil *Counter: every method no-ops on nil.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Value reports the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Name reports the interned metric name.
+func (c *Counter) Name() string { return c.name }
+
+// gauge is a registered read-only probe, evaluated only at sample
+// boundaries and at dump time — never on the hot path.
+type gauge struct {
+	name  string
+	probe func() int64
+}
+
+// vec is a registered probe over an integer-indexed counter slice (e.g.
+// per-input-port arbitration grants, per-cube completed transactions).
+// The slice itself is owned by the instrumented component, which
+// increments entries directly; obs only snapshots it.
+type vec struct {
+	name   string
+	labels []string
+	probe  func() []uint64
+}
+
+// Registry holds the metrics of one simulation instance. Registration
+// happens at build time; the hot path only touches returned pointers.
+// A nil *Registry is the disabled layer: every method no-ops and every
+// constructor returns nil, so instrumentation code needs no branching.
+type Registry struct {
+	counters []*Counter
+	gauges   []gauge
+	vecs     []vec
+	hists    []*Histogram
+
+	// index detects duplicate registration; it is registration-time
+	// bookkeeping only and is never ranged over or touched per event.
+	//lint:coldpath built once per instance at registration time
+	index map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	//lint:coldpath built once per instance at registration time
+	return &Registry{index: make(map[string]int)}
+}
+
+// intern records a name, panicking on duplicates (metric names must be
+// unique so dumps and series columns are unambiguous).
+func (r *Registry) intern(name string) {
+	if _, dup := r.index[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.index[name] = len(r.index)
+}
+
+// Counter registers and returns a counter (nil registry returns nil).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.intern(name)
+	c := &Counter{name: name}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge registers a read-only probe sampled at interval boundaries.
+// The probe must not mutate simulation state.
+func (r *Registry) Gauge(name string, probe func() int64) {
+	if r == nil {
+		return
+	}
+	if probe == nil {
+		panic("obs: nil gauge probe")
+	}
+	r.intern(name)
+	r.gauges = append(r.gauges, gauge{name: name, probe: probe})
+}
+
+// Vec registers a probe over an integer-indexed counter slice. labels
+// names the indices (len(labels) == len(probe())); the instrumented
+// component owns and increments the slice.
+func (r *Registry) Vec(name string, labels []string, probe func() []uint64) {
+	if r == nil {
+		return
+	}
+	if probe == nil {
+		panic("obs: nil vec probe")
+	}
+	r.intern(name)
+	r.vecs = append(r.vecs, vec{name: name, labels: labels, probe: probe})
+}
+
+// Histogram registers and returns a latency histogram (nil registry
+// returns nil).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.intern(name)
+	h := &Histogram{name: name}
+	r.hists = append(r.hists, h)
+	return h
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"memnet/internal/sim"
+	"memnet/internal/trace"
+)
+
+// Perfetto / Chrome trace-event export.
+//
+// Packet lifecycles from the trace ring become nestable async slices
+// (one track per packet ID: "b" at injection, "n" instants at each
+// node, "e" at completion), and the sampler's gauge series become
+// counter ("C") tracks, so per-node occupancy, credit stalls, and link
+// state are plottable next to the packets that caused them. The output
+// loads directly in https://ui.perfetto.dev or chrome://tracing.
+//
+// Chrome's JSON wants timestamps in microseconds; sim time is integer
+// picoseconds, so ts values are exact multiples of 1e-6 and the export
+// is byte-deterministic for a deterministic run (the golden-file test
+// pins this).
+
+// pfEvent is one trace event in Chrome trace-event JSON form.
+type pfEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// tsOf converts sim time (ps) to Chrome trace microseconds.
+func tsOf(t sim.Time) float64 { return float64(t) / 1e6 }
+
+// packet-track process IDs: packets render under pid 1, counters under
+// pid 2, so the two groups stay separate in the UI.
+const (
+	pfPidPackets  = 1
+	pfPidCounters = 2
+)
+
+// phaseOf maps a lifecycle op to its async phase.
+func phaseOf(op trace.Op) string {
+	switch op {
+	case trace.Inject:
+		return "b"
+	case trace.Complete:
+		return "e"
+	default:
+		return "n"
+	}
+}
+
+// WritePerfetto exports the retained packet lifecycle events and (when
+// s is non-nil) every sampled gauge series as Chrome trace-event JSON.
+// Events appear in stable order: lifecycle events chronologically (the
+// ring's retention order), then counter rows tick by tick in gauge
+// registration order.
+func WritePerfetto(w io.Writer, log *trace.Log, s *Sampler) error {
+	bw := &errWriter{w: w}
+	bw.puts("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	first := true
+	emit := func(ev pfEvent) {
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			bw.err = err
+			return
+		}
+		if !first {
+			bw.puts(",\n")
+		}
+		first = false
+		bw.put(raw)
+	}
+	if log != nil {
+		for _, e := range log.Events() {
+			ev := pfEvent{
+				Cat: "packet",
+				Ph:  phaseOf(e.Op),
+				Ts:  tsOf(e.At),
+				Pid: pfPidPackets,
+				ID:  fmt.Sprintf("%#x", e.ID),
+			}
+			switch ev.Ph {
+			case "b", "e":
+				ev.Name = fmt.Sprintf("tx %d", e.ID)
+			default:
+				ev.Name = fmt.Sprintf("%s@%d", e.Op, e.Node)
+			}
+			ev.Args = map[string]any{
+				"node": int64(e.Node),
+				"kind": e.Kind.String(),
+				"addr": fmt.Sprintf("%#x", e.Addr),
+			}
+			emit(ev)
+		}
+	}
+	if s != nil {
+		for row, t := range s.times {
+			for i := range s.gauges {
+				emit(pfEvent{
+					Name: s.gauges[i].name,
+					Ph:   "C",
+					Ts:   tsOf(t),
+					Pid:  pfPidCounters,
+					Args: map[string]any{"value": s.series[i][row]},
+				})
+			}
+		}
+	}
+	bw.puts("\n]}\n")
+	return bw.err
+}
+
+// errWriter is a sticky-error writer shell.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) put(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *errWriter) puts(s string) { e.put([]byte(s)) }

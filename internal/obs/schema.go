@@ -1,0 +1,170 @@
+package obs
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Minimal JSON-Schema validator covering the subset the run-manifest
+// schema uses: "type" (single or list), "properties",
+// "required", "items", and "additionalProperties": false. It exists so
+// CI can validate emitted manifests against the checked-in schema with
+// no third-party dependency; it is not a general JSON-Schema engine.
+
+//go:embed manifest.schema.json
+var manifestSchemaJSON []byte
+
+// ManifestSchemaJSON returns the checked-in run-manifest schema.
+func ManifestSchemaJSON() []byte { return manifestSchemaJSON }
+
+// ValidateManifestJSON checks doc (a serialized manifest) against the
+// embedded schema. It returns the first violation found, or nil.
+func ValidateManifestJSON(doc []byte) error {
+	return ValidateJSON(manifestSchemaJSON, doc)
+}
+
+// ValidateJSON checks doc against schema, both as raw JSON.
+func ValidateJSON(schema, doc []byte) error {
+	var s, d any
+	if err := json.Unmarshal(schema, &s); err != nil {
+		return fmt.Errorf("schema: %w", err)
+	}
+	if err := json.Unmarshal(doc, &d); err != nil {
+		return fmt.Errorf("document: %w", err)
+	}
+	return validate(s, d, "$")
+}
+
+// validate applies one schema node to one document node. path is the
+// JSON-path-ish location used in error messages.
+func validate(schema, doc any, path string) error {
+	sm, ok := schema.(map[string]any)
+	if !ok {
+		return fmt.Errorf("%s: schema node is not an object", path)
+	}
+	if t, ok := sm["type"]; ok {
+		if err := checkType(t, doc, path); err != nil {
+			return err
+		}
+	}
+	if dm, ok := doc.(map[string]any); ok {
+		if req, ok := sm["required"].([]any); ok {
+			for _, r := range req {
+				name, _ := r.(string)
+				if _, present := dm[name]; !present {
+					return fmt.Errorf("%s: missing required property %q", path, name)
+				}
+			}
+		}
+		props, _ := sm["properties"].(map[string]any)
+		if extra, ok := sm["additionalProperties"].(bool); ok && !extra {
+			for _, k := range sortedKeys(dm) {
+				if _, known := props[k]; !known {
+					return fmt.Errorf("%s: unexpected property %q", path, k)
+				}
+			}
+		}
+		for _, k := range sortedKeys(props) {
+			if v, present := dm[k]; present {
+				if err := validate(props[k], v, path+"."+k); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if da, ok := doc.([]any); ok {
+		if items, ok := sm["items"]; ok {
+			for i, v := range da {
+				if err := validate(items, v, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkType validates doc against a schema "type" value (string or
+// list of strings).
+func checkType(t, doc any, path string) error {
+	var names []string
+	switch tv := t.(type) {
+	case string:
+		names = []string{tv}
+	case []any:
+		for _, n := range tv {
+			if s, ok := n.(string); ok {
+				names = append(names, s)
+			}
+		}
+	default:
+		return fmt.Errorf("%s: malformed schema type %v", path, t)
+	}
+	for _, name := range names {
+		if typeMatches(name, doc) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s: got %s, want %v", path, jsonTypeOf(doc), names)
+}
+
+// typeMatches reports whether doc satisfies the named JSON type.
+func typeMatches(name string, doc any) bool {
+	switch name {
+	case "object":
+		_, ok := doc.(map[string]any)
+		return ok
+	case "array":
+		_, ok := doc.([]any)
+		return ok
+	case "string":
+		_, ok := doc.(string)
+		return ok
+	case "number":
+		_, ok := doc.(float64)
+		return ok
+	case "integer":
+		f, ok := doc.(float64)
+		return ok && f == math.Trunc(f)
+	case "boolean":
+		_, ok := doc.(bool)
+		return ok
+	case "null":
+		return doc == nil
+	}
+	return false
+}
+
+// jsonTypeOf names doc's JSON type for error messages.
+func jsonTypeOf(doc any) string {
+	switch doc.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "boolean"
+	case nil:
+		return "null"
+	}
+	return "unknown"
+}
+
+// sortedKeys returns m's keys in sorted order so validation errors are
+// deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	//lint:sorted keys collected then sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

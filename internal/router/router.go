@@ -72,6 +72,12 @@ type Router struct {
 	// Rerouted counts packets salvaged off a dead link and re-sent on a
 	// route-around path.
 	Rerouted uint64
+
+	// GrantCounts, when non-nil, counts arbitration grants per input
+	// port (telemetry; sized to NumPorts by the observer that arms it).
+	// It exposes which sources actually win the crossbar — the raw
+	// signal behind the paper's parking-lot unfairness.
+	GrantCounts []uint64
 }
 
 // New creates a router shell; ports are attached afterwards with
@@ -207,6 +213,9 @@ func (r *Router) drain(o int, vc packet.VC) bool {
 		})
 		p := r.in[pick].Pop(vc, r.eng.Now())
 		r.Forwarded[vc]++
+		if r.GrantCounts != nil {
+			r.GrantCounts[pick]++
+		}
 		if r.switchBps > 0 {
 			r.crossbar.Reserve(r.eng.Now(), sim.BitTime(p.Kind.Bits(), r.switchBps))
 		}

@@ -64,6 +64,17 @@ type Engine struct {
 	lane     []event
 	laneHead int
 	laneLen  int
+
+	// probe is the telemetry sampling hook: it runs at every multiple
+	// of probeEvery the clock crosses, between events, without being an
+	// event itself — probes never enter the queue, never consume seq
+	// numbers, and never count toward fired, so arming one cannot
+	// change what the simulation does or reports. Probes are read-only
+	// observers: scheduling from inside one panics.
+	probe      func(at Time)
+	probeEvery Time
+	probeAt    Time
+	inProbe    bool
 }
 
 // NewEngine returns an engine with its clock at time zero.
@@ -116,9 +127,45 @@ func (e *Engine) AtArg(t Time, fn ArgHandler, arg any) {
 	e.enqueue(t, event{afn: fn, arg: arg})
 }
 
+// SetProbe arms fn to run at every multiple of every that the clock
+// reaches or crosses, starting at the first multiple after the current
+// time. The probe is not an event: it fires between events as time
+// advances (and on RunUntil deadline advancement), adds nothing to the
+// queue, and leaves Fired and the (time, seq) order untouched, so
+// results are bit-identical with and without a probe. fn must only
+// observe: calling Schedule/At from inside it panics. A nil fn disarms.
+func (e *Engine) SetProbe(every Time, fn func(at Time)) {
+	if fn == nil {
+		e.probe = nil
+		return
+	}
+	if every <= 0 {
+		panic(fmt.Sprintf("sim: non-positive probe interval %v", every))
+	}
+	e.probe = fn
+	e.probeEvery = every
+	e.probeAt = (e.now/every + 1) * every
+}
+
+// runProbe fires the probe at every pending boundary up to and
+// including upTo. The clock reads each boundary instant during its
+// call, then the caller advances it to the event (or deadline) time.
+func (e *Engine) runProbe(upTo Time) {
+	e.inProbe = true
+	for e.probeAt <= upTo {
+		e.now = e.probeAt
+		e.probe(e.probeAt)
+		e.probeAt += e.probeEvery
+	}
+	e.inProbe = false
+}
+
 // enqueue stamps the sequence number and routes the event to the fast
 // lane (same-instant) or the heap (future).
 func (e *Engine) enqueue(t Time, ev event) {
+	if e.inProbe {
+		panic("sim: scheduling from inside a probe")
+	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling in the past: %v < now %v", t, e.now))
 	}
@@ -147,6 +194,9 @@ func (e *Engine) Step() bool {
 		}
 	case len(e.heap) > 0:
 		ev = e.heapPop()
+		if e.probe != nil && ev.at >= e.probeAt {
+			e.runProbe(ev.at)
+		}
 		e.now = ev.at
 	default:
 		return false
@@ -175,6 +225,9 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 		e.Step()
 	}
 	if e.now < deadline {
+		if e.probe != nil && deadline >= e.probeAt {
+			e.runProbe(deadline)
+		}
 		e.now = deadline
 	}
 	return e.fired - start

@@ -42,9 +42,17 @@ type Collector struct {
 	sumHops               uint64
 
 	// samples retains individual latencies for percentile queries when
-	// enabled (bounded reservoir to keep memory flat).
+	// enabled: a deterministic strided reservoir (every stride-th
+	// completion, by completion index) bounded at reservoirCap. When the
+	// reservoir fills, it is compacted in place to every 2nd retained
+	// sample and the stride doubles, so the retained set is always
+	// exactly the completions whose index ≡ 0 (mod stride) — an unbiased
+	// thinning of the whole run, not its first window, and identical
+	// across reruns of the same seed.
 	keepSamples bool
 	samples     []sim.Time
+	seen        uint64 // completions offered to the reservoir
+	stride      uint64 // current admission stride (power of two)
 
 	finish sim.Time // completion time of the last transaction
 }
@@ -78,12 +86,41 @@ func (c *Collector) Complete(p *packet.Packet) {
 	c.sumIn += in
 	c.sumFrom += from
 	c.sumHops += uint64(p.Hops)
-	if c.keepSamples && len(c.samples) < reservoirCap {
-		c.samples = append(c.samples, to+in+from)
+	if c.keepSamples {
+		c.sample(to + in + from)
 	}
 	if p.Completed > c.finish {
 		c.finish = p.Completed
 	}
+}
+
+// sample admits t into the strided reservoir if its completion index
+// lands on the current stride, halving the retained set (and doubling
+// the stride) whenever the reservoir fills.
+func (c *Collector) sample(t sim.Time) {
+	if c.stride == 0 {
+		c.stride = 1
+	}
+	idx := c.seen
+	c.seen++
+	if idx%c.stride != 0 {
+		return
+	}
+	if len(c.samples) == reservoirCap {
+		// Keep every 2nd retained sample: survivors are the completions
+		// with index ≡ 0 (mod 2*stride), restoring the invariant under
+		// the doubled stride.
+		half := c.samples[:0]
+		for i := 0; i < len(c.samples); i += 2 {
+			half = append(half, c.samples[i])
+		}
+		c.samples = half
+		c.stride *= 2
+		if idx%c.stride != 0 {
+			return
+		}
+	}
+	c.samples = append(c.samples, t)
 }
 
 // Completed reports the number of recorded transactions.
@@ -117,8 +154,12 @@ func (c *Collector) MeanHops() float64 {
 	return float64(c.sumHops) / float64(c.completed)
 }
 
-// Percentile returns the p-th percentile (0..100) of total latency.
-// Requires sample retention; returns 0 otherwise.
+// Percentile returns the p-th percentile (0..100) of total latency by
+// rank selection: the retained sample at (floor) rank p/100*(n-1) of
+// the sorted reservoir, with no interpolation between samples. The
+// reservoir is a deterministic stride decimation of the whole run (see
+// sample), so long-run percentiles reflect steady state, not the
+// warm-up window. Requires sample retention; returns 0 otherwise.
 func (c *Collector) Percentile(p float64) sim.Time {
 	if len(c.samples) == 0 {
 		return 0

@@ -41,6 +41,82 @@ func TestUnderfill(t *testing.T) {
 	}
 }
 
+// TestWraparoundBoundary pins the ring at its two edge states: exactly
+// full (no eviction yet, next still at 0) and one past full (a single
+// eviction, so Events must rotate around the write cursor).
+func TestWraparoundBoundary(t *testing.T) {
+	l := NewLog(4)
+	for i := 1; i <= 4; i++ {
+		l.Record(ev(sim.Time(i), uint64(i)))
+	}
+	got := l.Events()
+	if len(got) != 4 || got[0].ID != 1 || got[3].ID != 4 {
+		t.Fatalf("exactly-full log misordered: %v", got)
+	}
+	l.Record(ev(5, 5)) // first eviction: drops 1, cursor now mid-buffer
+	got = l.Events()
+	if len(got) != 4 {
+		t.Fatalf("retained %d after first eviction", len(got))
+	}
+	for i, e := range got {
+		if e.ID != uint64(2+i) {
+			t.Fatalf("event %d has ID %d, want %d after single wrap", i, e.ID, 2+i)
+		}
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total %d, want 5", l.Total())
+	}
+}
+
+// TestMultiWrap: many full revolutions of the ring still yield the
+// chronological tail, for capacities that do and do not divide the
+// record count evenly (cursor ends both at 0 and mid-buffer).
+func TestMultiWrap(t *testing.T) {
+	for _, capacity := range []int{3, 4} {
+		l := NewLog(capacity)
+		const n = 12
+		for i := 1; i <= n; i++ {
+			l.Record(ev(sim.Time(i), uint64(i)))
+		}
+		got := l.Events()
+		if len(got) != capacity {
+			t.Fatalf("cap %d: retained %d", capacity, len(got))
+		}
+		for i, e := range got {
+			want := uint64(n - capacity + 1 + i)
+			if e.ID != want {
+				t.Fatalf("cap %d: event %d has ID %d, want %d", capacity, i, e.ID, want)
+			}
+			if i > 0 && e.At < got[i-1].At {
+				t.Fatalf("cap %d: events not chronological: %v", capacity, got)
+			}
+		}
+	}
+}
+
+// TestPacketFilterAcrossWrap: per-packet extraction stays chronological
+// after the ring wraps through the packet's lifecycle.
+func TestPacketFilterAcrossWrap(t *testing.T) {
+	l := NewLog(6)
+	// Packet 9's lifecycle interleaved with filler; early records evict.
+	for i := 0; i < 5; i++ {
+		l.Record(ev(sim.Time(i), 100+uint64(i)))
+	}
+	l.Record(Event{At: 10, Op: Arrive, ID: 9})
+	l.Record(ev(11, 200))
+	l.Record(Event{At: 12, Op: MemStart, ID: 9})
+	l.Record(Event{At: 13, Op: MemDone, ID: 9})
+	got := l.Packet(9)
+	if len(got) != 3 {
+		t.Fatalf("packet events %v", got)
+	}
+	for i, op := range []Op{Arrive, MemStart, MemDone} {
+		if got[i].Op != op {
+			t.Fatalf("packet event %d is %v, want %v", i, got[i].Op, op)
+		}
+	}
+}
+
 func TestPacketFilter(t *testing.T) {
 	l := NewLog(16)
 	for i := 0; i < 6; i++ {

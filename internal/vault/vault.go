@@ -139,6 +139,17 @@ func (q *Quadrant) Tech() config.MemTech { return q.tech }
 // Stats returns a copy of the counters.
 func (q *Quadrant) Stats() Stats { return q.stats }
 
+// Inflight reports the current occupancy of the bank-access window
+// (telemetry gauge).
+func (q *Quadrant) Inflight() int { return q.inflight }
+
+// QueueLen reports queued work at the vault: requests waiting for a
+// window slot plus completed responses awaiting router space
+// (telemetry gauge).
+func (q *Quadrant) QueueLen() int {
+	return q.in.Len(packet.VCRequest) + len(q.done)
+}
+
 // BankStats sums the per-bank counters.
 func (q *Quadrant) BankStats() mem.BankStats {
 	var s mem.BankStats

@@ -33,6 +33,7 @@ import (
 	"memnet/internal/core"
 	"memnet/internal/fault"
 	"memnet/internal/migrate"
+	"memnet/internal/obs"
 	"memnet/internal/packet"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
@@ -156,6 +157,26 @@ type (
 // (Results.Fault); all-zero when fault injection is disabled.
 type FaultCounters = stats.FaultCounters
 
+// TelemetryConfig enables the sim-time telemetry layer (internal/obs):
+// a metrics registry over routers, links, vaults, and the host, an
+// interval sampler snapshotting gauges every SampleInterval of sim
+// time, and the exporters behind Instance.Telemetry / Instance.Manifest
+// (run-manifest JSON, Perfetto trace, CSV time series). Telemetry never
+// perturbs the simulation: Results are bit-identical with it on or off.
+type TelemetryConfig = obs.Config
+
+// RunManifest is the machine-readable record of one run; see
+// Instance.Manifest.
+type RunManifest = obs.Manifest
+
+// WritePerfetto exports packet lifecycles (Instance.Trace) and sampled
+// gauge series as Chrome/Perfetto trace-event JSON.
+var WritePerfetto = obs.WritePerfetto
+
+// ValidateManifestJSON checks a serialized manifest against the
+// embedded run-manifest schema.
+var ValidateManifestJSON = obs.ValidateManifestJSON
+
 // MigrationPolicy tunes the optional hot-block migration manager — the
 // heterogeneous-memory management layer mixed DRAM:NVM networks rely on
 // (paper §2.4).
@@ -205,6 +226,9 @@ type Config struct {
 	// TraceDepth, when positive, records the last N packet lifecycle
 	// events (Instance.Trace) for debugging.
 	TraceDepth int
+	// Telemetry, when non-nil and enabled, arms the metrics registry and
+	// interval sampler (Instance.Telemetry).
+	Telemetry *TelemetryConfig
 	// Tuning overrides the microarchitectural tuning (nil = defaults).
 	Tuning *Tuning
 }
@@ -270,6 +294,7 @@ func (c Config) params() (core.Params, error) {
 	p.Replay = c.ReplayTrace
 	p.Record = c.Record
 	p.TraceDepth = c.TraceDepth
+	p.Obs = c.Telemetry
 	if c.Tuning != nil {
 		p.Tuning = *c.Tuning
 	}

@@ -2,12 +2,24 @@
 // experiment prints the same rows/series the paper reports (speedups
 // over the 100% chain, latency breakdowns, energy splits, ...).
 //
+// Runs can be backed by a persistent content-addressed result cache
+// (-cache): every simulation already present in the cache is served
+// from disk, so interrupted campaigns resume and repeated invocations
+// are free. Long campaigns can be split across machines with -shard
+// k/n, which executes one partition of the full grid into the cache
+// and exits; -merge joins shard caches and regenerates every table
+// from the combined results.
+//
 // Examples:
 //
-//	mnexp                      # run everything at publication scale
-//	mnexp -exp fig4,fig7       # selected figures
-//	mnexp -quick               # reduced trace length (fast)
-//	mnexp -format csv -out out # write CSV files per experiment
+//	mnexp                                  # run everything at publication scale
+//	mnexp -exp fig4,fig7                   # selected figures
+//	mnexp -quick                           # reduced trace length (fast)
+//	mnexp -format csv -out out             # write CSV files per experiment
+//	mnexp -cache results/cache -out results
+//	mnexp -shard 1/2 -cache shard1         # machine 1 of a 2-way campaign
+//	mnexp -shard 2/2 -cache shard2         # machine 2
+//	mnexp -merge shard1,shard2 -cache results/cache -out results
 package main
 
 import (
@@ -17,6 +29,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"memnet/internal/campaign"
 	"memnet/internal/experiments"
 	"memnet/internal/prof"
 )
@@ -25,21 +38,23 @@ func main() {
 	var (
 		expFlag = flag.String("exp", "all",
 			"comma-separated: table1,table2,fig4,fig5,fig7,fig10,fig11,fig12,fig13,fig14,fig15,mesh,resilience or all")
-		quick   = flag.Bool("quick", false, "reduced trace length for a fast pass")
-		txns    = flag.Uint64("txns", 0, "override transactions per run")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		format  = flag.String("format", "text", "text | csv | chart")
-		outDir  = flag.String("out", "", "directory for per-experiment output files (default stdout)")
-		maniOut = flag.String("manifest", "", "write a campaign manifest (options, git ref, every table) as JSON to this file")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		quick    = flag.Bool("quick", false, "reduced trace length for a fast pass")
+		txns     = flag.Uint64("txns", 0, "override transactions per run")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		format   = flag.String("format", "text", "text | csv | chart")
+		outDir   = flag.String("out", "", "directory for per-experiment output files plus experiments.json (default stdout)")
+		cacheDir = flag.String("cache", "", "content-addressed result cache directory; hits skip simulation")
+		shardStr = flag.String("shard", "", "run partition k/n of the full campaign grid into -cache and exit (ignores -exp)")
+		mergeStr = flag.String("merge", "", "comma-separated shard cache directories to merge into -cache before generating tables")
+		maniOut  = flag.String("manifest", "", "also write the campaign manifest JSON to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mnexp:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
@@ -56,7 +71,28 @@ func main() {
 	}
 	opts.Seed = *seed
 
+	var store *campaign.Store
+	if *cacheDir != "" {
+		store, err = campaign.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *shardStr != "" {
+		runShard(opts, store, *shardStr)
+		return
+	}
+	if *mergeStr != "" {
+		mergeShards(store, *mergeStr)
+	}
+
 	runner := experiments.NewRunner(opts)
+	var counter campaign.Counter
+	if store != nil {
+		runner.Sim = campaign.CachedSim(store, nil, &counter)
+	}
+
 	type exp struct {
 		id string
 		fn func() (*experiments.Table, error)
@@ -64,17 +100,9 @@ func main() {
 	all := []exp{
 		{"table1", func() (*experiments.Table, error) { return experiments.Table1() }},
 		{"table2", nil}, // special-cased text
-		{"fig4", runner.Fig4},
-		{"fig5", runner.Fig5},
-		{"fig7", runner.Fig7},
-		{"fig10", runner.Fig10},
-		{"fig11", runner.Fig11},
-		{"fig12", runner.Fig12},
-		{"fig13", runner.Fig13},
-		{"fig14", runner.Fig14},
-		{"fig15", runner.Fig15},
-		{"mesh", runner.ExtMesh},
-		{"resilience", runner.Resilience},
+	}
+	for _, f := range runner.Figures() {
+		all = append(all, exp{f.ID, f.Fn})
 	}
 
 	want := map[string]bool{}
@@ -112,22 +140,88 @@ func main() {
 			emit(e.id, tab.Text(), *outDir, "txt")
 		}
 	}
-	if *maniOut != "" {
-		f, err := os.Create(*maniOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mnexp:", err)
-			os.Exit(1)
-		}
-		err = manifest.Encode(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mnexp:", err)
-			os.Exit(1)
-		}
-		fmt.Println("wrote", *maniOut)
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "mnexp: cache %s: %d hits, %d simulated\n",
+			store.Dir(), counter.Hits(), counter.Misses())
 	}
+
+	manifestPaths := []string{}
+	if *outDir != "" {
+		manifestPaths = append(manifestPaths, filepath.Join(*outDir, "experiments.json"))
+	}
+	if *maniOut != "" {
+		manifestPaths = append(manifestPaths, *maniOut)
+	}
+	for _, path := range manifestPaths {
+		if err := writeManifest(manifest, path); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+// runShard executes one campaign partition into the cache and exits.
+func runShard(opts experiments.Options, store *campaign.Store, shardStr string) {
+	if store == nil {
+		fatal(fmt.Errorf("-shard requires -cache"))
+	}
+	shard, err := campaign.ParseShard(shardStr)
+	if err != nil {
+		fatal(err)
+	}
+	stats, err := campaign.RunShard(opts, store, shard, func(p campaign.Progress) {
+		verb := "ran"
+		if p.Hit {
+			verb = "hit"
+		}
+		fmt.Fprintf(os.Stderr, "mnexp: shard %s [%d/%d] %s %s/%s\n",
+			shard, p.Done, p.Total, verb, p.Key.Label, p.Key.Workload)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("shard %s: %d of %d grid units; %d cached, %d simulated\n",
+		shard, stats.ShardSize, stats.GridSize, stats.Hits, stats.Simulated)
+}
+
+// mergeShards joins the listed shard caches into the main cache.
+func mergeShards(store *campaign.Store, mergeStr string) {
+	if store == nil {
+		fatal(fmt.Errorf("-merge requires -cache"))
+	}
+	for _, dir := range strings.Split(mergeStr, ",") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		src, err := campaign.Open(dir)
+		if err != nil {
+			fatal(err)
+		}
+		added, skipped, err := store.Merge(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mnexp: merged %s: %d added, %d skipped\n", dir, added, skipped)
+	}
+}
+
+// writeManifest writes the campaign manifest JSON to path.
+func writeManifest(m *experiments.RunManifest, path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = m.Encode(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // emit writes content to a file in dir (if set) or to stdout.
@@ -137,13 +231,17 @@ func emit(id, content, dir, ext string) {
 		return
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, "mnexp:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	path := filepath.Join(dir, id+"."+ext)
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "mnexp:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Println("wrote", path)
+}
+
+// fatal prints the error and exits.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mnexp:", err)
+	os.Exit(1)
 }

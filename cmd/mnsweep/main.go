@@ -28,6 +28,7 @@ func main() {
 		wlFlag   = flag.String("workload", "KMEANS", "workload name")
 		dramPct  = flag.Float64("dram-pct", 100, "percent of capacity from DRAM")
 		txns     = flag.Uint64("txns", 8000, "transactions per run")
+		cacheDir = flag.String("cache", "", "content-addressed result cache directory; hits skip simulation")
 	)
 	flag.Parse()
 
@@ -39,10 +40,7 @@ func main() {
 	check(err)
 
 	fmt.Printf("param,value,finish_ns,mean_latency_ns,to_mem_ns,in_mem_ns,from_mem_ns,energy_uj\n")
-	for _, vs := range strings.Split(*values, ",") {
-		v, err := strconv.ParseInt(strings.TrimSpace(vs), 10, 64)
-		check(err)
-
+	for _, v := range parseValues(*values) {
 		sys := memnet.DefaultSystem()
 		cfg := memnet.DefaultConfig()
 		cfg.Topology = topo
@@ -71,7 +69,7 @@ func main() {
 		}
 		cfg.System = &sys
 
-		res, err := memnet.Run(cfg)
+		res, _, err := memnet.RunCached(cfg, *cacheDir)
 		check(err)
 		fmt.Printf("%s,%d,%.1f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
 			*param, v,
@@ -82,6 +80,25 @@ func main() {
 			res.Breakdown.FromMem.Nanoseconds(),
 			res.Energy.TotalPJ()/1e6)
 	}
+}
+
+// parseValues parses the comma-separated -values list, dropping
+// duplicates (first occurrence wins, with a warning) so a repeated
+// value does not silently produce a repeated sweep point.
+func parseValues(s string) []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	for _, vs := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(vs), 10, 64)
+		check(err)
+		if seen[v] {
+			fmt.Fprintf(os.Stderr, "mnsweep: duplicate value %d in -values ignored\n", v)
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
 }
 
 func parseTopology(s string) (memnet.Topology, error) {

@@ -1,0 +1,166 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"memnet/internal/config"
+	"memnet/internal/core"
+	"memnet/internal/fault"
+	"memnet/internal/migrate"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+// testParams returns a representative publication-grid configuration.
+func testParams() core.Params {
+	wl := workload.Suite()[0]
+	return core.Params{
+		Sys:          config.Default(),
+		Topo:         topology.Tree,
+		Workload:     wl,
+		Transactions: 1000,
+		Seed:         1,
+	}
+}
+
+// TestFingerprintStable checks the fingerprint is a pure function of
+// the parameters.
+func TestFingerprintStable(t *testing.T) {
+	a := FingerprintParams(testParams())
+	b := FingerprintParams(testParams())
+	if a != b {
+		t.Fatalf("identical params fingerprint differently: %s vs %s", a, b)
+	}
+}
+
+// TestFingerprintSensitivity checks that every class of configuration
+// change moves the content address.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := FingerprintParams(testParams())
+	mutations := map[string]func(*core.Params){
+		"topology":     func(p *core.Params) { p.Topo = topology.Ring },
+		"arbitration":  func(p *core.Params) { p.Arb++ },
+		"transactions": func(p *core.Params) { p.Transactions++ },
+		"seed":         func(p *core.Params) { p.Seed++ },
+		"workload":     func(p *core.Params) { p.Workload.MeanGap += sim.Nanosecond },
+		"ports":        func(p *core.Params) { p.Sys.Ports = 4 },
+		"dram-frac":    func(p *core.Params) { p.Sys.DRAMFraction = 0.5 },
+		"placement":    func(p *core.Params) { p.Sys.Placement = config.NVMFirst },
+		"capacity":     func(p *core.Params) { p.Sys.TotalCapacity /= 2 },
+		"banks":        func(p *core.Params) { p.Sys.BanksPerCube /= 2 },
+		"serdes":       func(p *core.Params) { p.Sys.SerDesLatency += sim.Nanosecond },
+		"nvm-timing":   func(p *core.Params) { p.Sys.NVMTiming.TWR += sim.Nanosecond },
+		"energy":       func(p *core.Params) { p.Sys.Energy.NVMWritePJPerBit++ },
+		"tuning":       func(p *core.Params) { p.Tuning.WavefrontSize++ },
+		"keepsamples":  func(p *core.Params) { p.KeepSamples = true },
+		"faillinks":    func(p *core.Params) { p.FailLinks = []int{2} },
+		"migration":    func(p *core.Params) { c := migrate.DefaultConfig(); p.Migration = &c },
+		"fault-nil-vs-zero": func(p *core.Params) { p.Fault = &fault.Config{} },
+		"fault-ber":        func(p *core.Params) { p.Fault = &fault.Config{LinkBER: 1e-6} },
+		"fault-kill": func(p *core.Params) {
+			p.Fault = &fault.Config{KillCubes: []fault.CubeKill{{Node: 3, At: sim.Microsecond}}}
+		},
+	}
+	got := map[Fingerprint]string{base: "base"}
+	for name, mut := range mutations {
+		p := testParams()
+		mut(&p)
+		fp := FingerprintParams(p)
+		if fp == base {
+			t.Errorf("mutation %q does not change the fingerprint", name)
+		}
+		if prev, dup := got[fp]; dup {
+			t.Errorf("mutations %q and %q collide (%s)", name, prev, fp)
+		}
+		got[fp] = name
+	}
+}
+
+// TestCacheable checks the side-artifact exclusions.
+func TestCacheable(t *testing.T) {
+	p := testParams()
+	if !Cacheable(p) {
+		t.Fatal("plain run should be cacheable")
+	}
+	rp := p
+	rp.Replay = []workload.Tx{{}}
+	rec := p
+	rec.Record = true
+	tr := p
+	tr.TraceDepth = 8
+	for name, q := range map[string]core.Params{"replay": rp, "record": rec, "trace": tr} {
+		if Cacheable(q) {
+			t.Errorf("%s run must not be cacheable", name)
+		}
+	}
+}
+
+// TestFingerprintCoverage pins the shapes of every struct the
+// fingerprint folds. If this test fails, a configuration struct gained,
+// lost, or renamed a field: extend the corresponding hash function in
+// fingerprint.go to cover it (or consciously exclude it), bump
+// CacheSchema if the change alters simulation semantics, and then
+// update the pinned list here.
+func TestFingerprintCoverage(t *testing.T) {
+	pinned := []struct {
+		v    any
+		want []string
+	}{
+		{core.Params{}, []string{
+			"Sys", "Topo", "Arb", "Workload", "Transactions", "Seed",
+			"KeepSamples", "Replay", "Record", "TraceDepth", "Migration",
+			"FailLinks", "Fault", "Obs", "Tuning",
+		}},
+		{config.System{}, []string{
+			"Ports", "TotalCapacity", "DRAMCubeCapacity", "NVMCubeCapacity",
+			"DRAMFraction", "Placement", "BanksPerCube", "Quadrants",
+			"RowBytes", "LinkLanes", "LaneRateBps", "SerDesLatency",
+			"WrongQuadrantPenalty", "LinkBufferPackets", "InterleaveBytes",
+			"MaxOutstanding", "HostLatency", "DRAMTiming", "NVMTiming", "Energy",
+		}},
+		{config.MemTiming{}, []string{
+			"TRCD", "TCL", "TRP", "TRAS", "TWR", "Burst", "RefInterval", "RefDuration",
+		}},
+		{config.Energy{}, []string{
+			"NetworkPJPerBitHop", "DRAMReadPJPerBit", "DRAMWritePJPerBit",
+			"NVMReadPJPerBit", "NVMWritePJPerBit",
+		}},
+		{workload.Spec{}, []string{
+			"Name", "ReadFraction", "MeanGap", "SeqProb", "SeqStride",
+			"HotFraction", "HotRegion", "RMWFraction", "BurstProb",
+			"BurstLen", "BurstWriteFrac", "Window",
+		}},
+		{core.Tuning{}, []string{
+			"VaultQueueDepth", "VaultMaxInflight", "InternalBandwidthX",
+			"SwitchBandwidthBps", "IfaceSwitchBandwidthBps",
+			"InterposerBandwidthX", "InterposerSerDes", "ShortcutHi",
+			"ShortcutLo", "ShortcutWindow", "NVMMaxInflight",
+			"MetaCubeGroup", "WavefrontSize", "WriteDemotion", "NoVCPriority",
+		}},
+		{migrate.Config{}, []string{
+			"Epoch", "HotThreshold", "MaxSwapsPerEpoch", "BlockBytes",
+			"Blackout", "SettleEpochs",
+		}},
+		{fault.Config{}, []string{
+			"Seed", "LinkBER", "MaxRetries", "RetryBackoff", "KillLinks",
+			"KillCubes", "LaneFails", "Watchdog", "WatchdogInterval",
+			"WatchdogStale",
+		}},
+		{fault.LinkKill{}, []string{"Edge", "At"}},
+		{fault.CubeKill{}, []string{"Node", "At", "Full"}},
+		{fault.LaneFail{}, []string{"Edge", "At"}},
+	}
+	for _, pin := range pinned {
+		rt := reflect.TypeOf(pin.v)
+		var got []string
+		for i := 0; i < rt.NumField(); i++ {
+			got = append(got, rt.Field(i).Name)
+		}
+		if !reflect.DeepEqual(got, pin.want) {
+			t.Errorf("%s fields changed:\n  got  %v\n  want %v\nextend the fingerprint coverage (fingerprint.go), consider a CacheSchema bump, then update this pin",
+				rt, got, pin.want)
+		}
+	}
+}

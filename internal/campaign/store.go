@@ -1,0 +1,246 @@
+package campaign
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"memnet/internal/core"
+	"memnet/internal/fnv"
+	"memnet/internal/obs"
+)
+
+//go:embed cache.schema.json
+var cacheSchemaJSON []byte
+
+// CacheEntrySchemaJSON returns the embedded JSON schema every cache
+// envelope must satisfy (validated with the internal/obs stdlib schema
+// subset on both read and write).
+func CacheEntrySchemaJSON() []byte { return cacheSchemaJSON }
+
+// Key is the human-readable summary stored alongside a cached result so
+// cache directories can be audited without recomputing fingerprints. It
+// identifies the run for a human; the fingerprint identifies it for the
+// machine.
+type Key struct {
+	// Label is the paper-style configuration name (e.g. "50%-T (NVM-L)").
+	Label string `json:"label"`
+	// Workload names the traffic proxy.
+	Workload string `json:"workload"`
+	// Transactions is the trace length.
+	Transactions uint64 `json:"transactions"`
+	// Seed is the workload seed.
+	Seed uint64 `json:"seed"`
+	// Ports is the host port count (4 in the Fig. 13 system, else 8).
+	Ports int `json:"ports,omitempty"`
+	// Faulty marks runs with an armed fault scenario (the resilience
+	// sweep).
+	Faulty bool `json:"faulty,omitempty"`
+}
+
+// KeyOf summarizes a run's parameters for the envelope.
+func KeyOf(p core.Params) Key {
+	return Key{
+		Label:        p.Label(),
+		Workload:     p.Workload.Name,
+		Transactions: p.Transactions,
+		Seed:         p.Seed,
+		Ports:        p.Sys.Ports,
+		Faulty:       p.Fault != nil && p.Fault.Enabled(),
+	}
+}
+
+// envelope is the on-disk layout of one cache entry: a schema-versioned
+// wrapper whose checksum covers the canonical encoding of the results,
+// so truncation, bit rot, and field drift all read as a miss rather
+// than as data.
+type envelope struct {
+	Schema      string          `json:"schema"`
+	Fingerprint string          `json:"fingerprint"`
+	Checksum    string          `json:"checksum"`
+	Key         Key             `json:"key"`
+	Results     json.RawMessage `json:"results"`
+}
+
+// resultsChecksum is the integrity hash of a cached result: FNV-1a over
+// the compact canonical JSON encoding of core.Results. Encoding the
+// decoded struct (rather than hashing stored bytes) makes the checksum
+// sensitive to field drift: an entry written by a binary whose Results
+// type differed fails verification instead of deserializing partially.
+func resultsChecksum(res core.Results) (string, []byte, error) {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return "", nil, err
+	}
+	return fmt.Sprintf("%016x", fnv.New().Bytes(raw).Sum()), raw, nil
+}
+
+// Store is a persistent, content-addressed result cache: one JSON
+// envelope per fingerprint under a single directory. Writes are
+// atomic (temp file + rename), so concurrent writers — shard workers,
+// parallel mnexp invocations over the same directory — can never
+// produce a torn entry; the worst race outcome is both writing the
+// same bytes. Reads treat any malformed, mis-addressed, corrupt, or
+// schema-stale entry as a miss: a bad cache can cost recomputation,
+// never wrong results.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("campaign: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path returns the entry filename for a fingerprint.
+func (s *Store) path(fp Fingerprint) string {
+	return filepath.Join(s.dir, fp.String()+".json")
+}
+
+// Get returns the cached results for fp. Every failure mode — missing
+// file, malformed JSON, schema mismatch (a version bump), fingerprint
+// mismatch (a misnamed or cross-copied file), checksum mismatch
+// (corruption or Results field drift) — returns ok=false so the caller
+// recomputes instead of trusting the entry.
+func (s *Store) Get(fp Fingerprint) (core.Results, bool) {
+	raw, err := os.ReadFile(s.path(fp))
+	if err != nil {
+		return core.Results{}, false
+	}
+	if err := obs.ValidateJSON(cacheSchemaJSON, raw); err != nil {
+		return core.Results{}, false
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return core.Results{}, false
+	}
+	if env.Schema != CacheSchema || env.Fingerprint != fp.String() {
+		return core.Results{}, false
+	}
+	var res core.Results
+	if err := json.Unmarshal(env.Results, &res); err != nil {
+		return core.Results{}, false
+	}
+	sum, _, err := resultsChecksum(res)
+	if err != nil || sum != env.Checksum {
+		return core.Results{}, false
+	}
+	return res, true
+}
+
+// Put writes one entry atomically: the envelope is assembled in a
+// temporary file in the store directory and renamed over the final
+// name, so readers only ever see complete entries.
+func (s *Store) Put(fp Fingerprint, key Key, res core.Results) error {
+	sum, raw, err := resultsChecksum(res)
+	if err != nil {
+		return fmt.Errorf("campaign: encode results: %w", err)
+	}
+	env := envelope{
+		Schema:      CacheSchema,
+		Fingerprint: fp.String(),
+		Checksum:    sum,
+		Key:         key,
+		Results:     raw,
+	}
+	blob, err := json.MarshalIndent(&env, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: encode envelope: %w", err)
+	}
+	blob = append(blob, '\n')
+	if err := obs.ValidateJSON(cacheSchemaJSON, blob); err != nil {
+		return fmt.Errorf("campaign: envelope does not satisfy its own schema: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: write entry: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), s.path(fp)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: %w", err)
+	}
+	return nil
+}
+
+// Len counts the valid entries in the store.
+func (s *Store) Len() int { return len(s.Fingerprints()) }
+
+// Fingerprints returns the fingerprints of every well-named entry file,
+// sorted; it does not validate entry contents (Get does).
+func (s *Store) Fingerprints() []Fingerprint {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var out []Fingerprint
+	for _, e := range names {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || len(name) != 16+len(".json") {
+			continue
+		}
+		var v uint64
+		if _, err := fmt.Sscanf(name[:16], "%016x", &v); err != nil {
+			continue
+		}
+		out = append(out, Fingerprint(v))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Merge copies every valid entry of src into s, in sorted fingerprint
+// order. Entries already present are kept (content addressing makes
+// both sides byte-equivalent for the same schema version); invalid or
+// stale-schema entries in src are skipped and counted. It returns the
+// number of entries added and skipped. Merging shard caches in any
+// order yields the same store: content addresses make the operation
+// commutative and idempotent.
+func (s *Store) Merge(src *Store) (added, skipped int, err error) {
+	for _, fp := range src.Fingerprints() {
+		res, ok := src.Get(fp)
+		if !ok {
+			skipped++
+			continue
+		}
+		if _, exists := s.Get(fp); exists {
+			continue
+		}
+		var env envelope
+		raw, rerr := os.ReadFile(src.path(fp))
+		if rerr != nil {
+			skipped++
+			continue
+		}
+		if jerr := json.Unmarshal(raw, &env); jerr != nil {
+			skipped++
+			continue
+		}
+		if perr := s.Put(fp, env.Key, res); perr != nil {
+			return added, skipped, perr
+		}
+		added++
+	}
+	return added, skipped, nil
+}

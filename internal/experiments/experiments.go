@@ -17,18 +17,21 @@ import (
 	"memnet/internal/workload"
 )
 
-// Options controls experiment scale.
+// Options controls experiment scale. The JSON form is embedded in
+// campaign manifests; Parallel is excluded from it because worker count
+// is a machine property, not an experiment input (results are
+// bit-identical at any worker count).
 type Options struct {
 	// Transactions per simulation run.
-	Transactions uint64
+	Transactions uint64 `json:"transactions"`
 	// Seed for workload generation.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Workloads restricts the suite (nil = all eight).
-	Workloads []string
+	Workloads []string `json:"workloads,omitempty"`
 	// Parallel is the worker count for fanning independent simulation
 	// runs across cores (each run is its own engine, so results are
 	// bit-identical regardless of scheduling). Zero means GOMAXPROCS.
-	Parallel int
+	Parallel int `json:"-"`
 }
 
 // DefaultOptions gives publication-scale runs.
@@ -59,10 +62,14 @@ func (o Options) suite() []workload.Spec {
 
 // MNConfig identifies one evaluated memory-network configuration.
 type MNConfig struct {
-	Topo         topology.Kind
+	// Topo is the per-port network topology.
+	Topo topology.Kind
+	// DRAMFraction of total capacity (1.0 = all DRAM).
 	DRAMFraction float64
-	Placement    config.Placement
-	Arb          arb.Kind
+	// Placement positions NVM cubes in mixed networks.
+	Placement config.Placement
+	// Arb is the router arbitration policy.
+	Arb arb.Kind
 }
 
 // Label renders the paper-style configuration name (without the
@@ -89,12 +96,27 @@ var ratios = []ratio{
 	{0.0, config.NVMLast},
 }
 
+// SimFunc executes one simulation run. It is the Runner's pluggable
+// backend: the default is core.Simulate; internal/campaign substitutes
+// a content-addressed-cache wrapper, and campaign grid enumeration
+// substitutes a recorder that never simulates at all. A SimFunc must be
+// safe for concurrent calls (Warm invokes it from worker goroutines)
+// and must be a pure function of its Params.
+type SimFunc func(core.Params) (core.Results, error)
+
 // Runner executes and memoizes simulation runs. It is not safe for
 // concurrent use; experiments are run sequentially for determinism.
 type Runner struct {
+	// Opts is the experiment scale every run of this Runner shares.
 	Opts Options
 	// Sys is the base system configuration each run derives from.
-	Sys   config.System
+	Sys config.System
+	// Sim, when non-nil, replaces core.Simulate as the backend executing
+	// each run (see SimFunc). Figure harnesses that build sub-runners
+	// (Fig13's four-port system, Fig14's half-capacity system) propagate
+	// it, so a cache or recorder hook observes every simulation of a
+	// campaign.
+	Sim   SimFunc
 	cache map[runKey]core.Results
 }
 
@@ -129,13 +151,32 @@ func (r *Runner) key(cfg MNConfig, wl workload.Spec) runKey {
 	return runKey{cfg: cfg, workload: wl.Name, ports: r.Sys.Ports, capacity: r.Sys.TotalCapacity}
 }
 
+// simulate executes one run through the pluggable backend (Sim if set,
+// core.Simulate otherwise), bypassing the Runner's memoization.
+func (r *Runner) simulate(p core.Params) (core.Results, error) {
+	if r.Sim != nil {
+		return r.Sim(p)
+	}
+	return core.Simulate(p)
+}
+
+// derive returns a fresh Runner with the given options that inherits
+// this Runner's base system and simulation backend (but not its memo
+// cache — the derived runner usually simulates a different system).
+func (r *Runner) derive(opts Options) *Runner {
+	d := NewRunner(opts)
+	d.Sys = r.Sys
+	d.Sim = r.Sim
+	return d
+}
+
 // Run simulates one configuration/workload pair (memoized).
 func (r *Runner) Run(cfg MNConfig, wl workload.Spec) (core.Results, error) {
 	key := r.key(cfg, wl)
 	if res, ok := r.cache[key]; ok {
 		return res, nil
 	}
-	res, err := core.Simulate(r.params(cfg, wl))
+	res, err := r.simulate(r.params(cfg, wl))
 	if err != nil {
 		return core.Results{}, fmt.Errorf("%s/%s: %w", cfg.Label(), wl.Name, err)
 	}
@@ -199,7 +240,7 @@ func (r *Runner) Warm(cfgs []MNConfig, suite []workload.Spec) error {
 		go func() {
 			defer wg.Done()
 			for p := range jobs {
-				res, err := core.Simulate(r.params(p.cfg, p.wl))
+				res, err := r.simulate(r.params(p.cfg, p.wl))
 				if err != nil {
 					err = fmt.Errorf("%s/%s: %w", p.cfg.Label(), p.wl.Name, err)
 				}
@@ -258,20 +299,29 @@ func (r *Runner) Speedup(cfg, base MNConfig, wl workload.Spec) (float64, error) 
 }
 
 // Table is a generic labeled grid: one row per configuration/series, one
-// column per workload (plus optional trailing aggregate columns).
+// column per workload (plus optional trailing aggregate columns). The
+// JSON form is the interchange format of campaign manifests
+// (results/experiments.json) and the cmd/mndocs renderer.
 type Table struct {
-	ID      string // e.g. "fig4"
-	Title   string
-	Columns []string
-	Rows    []Row
+	// ID is the experiment's short name, e.g. "fig4".
+	ID string `json:"id"`
+	// Title is the paper-style caption printed above the table.
+	Title string `json:"title"`
+	// Columns are the value-column headers (usually workload names plus
+	// a trailing aggregate).
+	Columns []string `json:"columns"`
+	// Rows are the labeled series in presentation order.
+	Rows []Row `json:"rows"`
 	// Unit annotates cell values, e.g. "% speedup" or "relative".
-	Unit string
+	Unit string `json:"unit,omitempty"`
 }
 
 // Row is one labeled series.
 type Row struct {
-	Label  string
-	Values []float64
+	// Label names the series, e.g. "100%-T".
+	Label string `json:"label"`
+	// Values align with the Table's Columns.
+	Values []float64 `json:"values"`
 }
 
 // Cell returns the value at (rowLabel, column), for tests.

@@ -172,8 +172,7 @@ func (r *Runner) Fig13() (*Table, error) {
 			})
 		}
 	}
-	base := NewRunner(r.Opts)
-	base.Sys = r.Sys
+	base := r.derive(r.Opts)
 	if err := base.Warm(cfgs, suite); err != nil {
 		return nil, err
 	}
@@ -183,8 +182,7 @@ func (r *Runner) Fig13() (*Table, error) {
 	// ratio.
 	fourOpts := r.Opts
 	fourOpts.Transactions *= 2
-	four := NewRunner(fourOpts)
-	four.Sys = r.Sys
+	four := r.derive(fourOpts)
 	four.Sys.Ports = 4
 	if err := four.Warm(cfgs, suite); err != nil {
 		return nil, err
@@ -219,10 +217,8 @@ func (r *Runner) Fig14() (*Table, error) {
 		Columns: []string{"average"},
 		Unit:    "% speedup",
 	}
-	big := NewRunner(r.Opts)
-	big.Sys = r.Sys
-	small := NewRunner(r.Opts)
-	small.Sys = r.Sys
+	big := r.derive(r.Opts)
+	small := r.derive(r.Opts)
 	small.Sys.TotalCapacity /= 2
 	small.Sys.DRAMCubeCapacity /= 2
 	small.Sys.NVMCubeCapacity /= 2
@@ -330,6 +326,38 @@ func (r *Runner) Fig15() (*Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// Figure is one entry of the campaign's figure/table grid: an
+// experiment id paired with the harness that regenerates it.
+type Figure struct {
+	// ID is the experiment's short name ("fig4", "mesh", ...), also the
+	// Table.ID the harness returns.
+	ID string
+	// Fn regenerates the experiment's table.
+	Fn func() (*Table, error)
+}
+
+// Figures returns every simulation-backed experiment of the campaign in
+// the paper's presentation order. Table 1 and Table 2 are excluded:
+// they are derived from the DDR bus model and the static configuration,
+// with no simulation behind them. cmd/mnexp drives this list directly,
+// and internal/campaign enumerates the full simulation grid from it, so
+// a new figure added here is automatically sharded, cached, and merged.
+func (r *Runner) Figures() []Figure {
+	return []Figure{
+		{"fig4", r.Fig4},
+		{"fig5", r.Fig5},
+		{"fig7", r.Fig7},
+		{"fig10", r.Fig10},
+		{"fig11", r.Fig11},
+		{"fig12", r.Fig12},
+		{"fig13", r.Fig13},
+		{"fig14", r.Fig14},
+		{"fig15", r.Fig15},
+		{"mesh", r.ExtMesh},
+		{"resilience", r.Resilience},
+	}
 }
 
 // ExtMesh is an extension experiment (not in the paper): the 2D mesh

@@ -2,25 +2,36 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"runtime/debug"
 
 	"memnet/internal/obs"
 )
 
-// CampaignSchema identifies the mnexp campaign-manifest layout.
-const CampaignSchema = "memnet/exp-manifest/v1"
+// CampaignSchema identifies the mnexp campaign-manifest layout. v2
+// lower-cased the Table/Row JSON keys and dropped the machine-local
+// Parallel option when the manifest became the machine-readable
+// experiments.json artifact that cmd/mndocs renders docs from.
+const CampaignSchema = "memnet/exp-manifest/v2"
 
 // RunManifest is the machine-readable record of one mnexp campaign:
 // the options every run shared, the toolchain and git ref that produced
 // it, and every generated table. It is the experiment-level counterpart
 // of the per-run obs.Manifest.
 type RunManifest struct {
-	Schema    string   `json:"schema"`
-	GitRef    string   `json:"git_ref,omitempty"`
-	GoVersion string   `json:"go_version,omitempty"`
-	Options   Options  `json:"options"`
-	Tables    []*Table `json:"tables"`
+	// Schema is CampaignSchema at write time.
+	Schema string `json:"schema"`
+	// GitRef is the VCS revision of the producing binary, when stamped
+	// (empty under -buildvcs=false, which keeps committed artifacts
+	// byte-stable).
+	GitRef string `json:"git_ref,omitempty"`
+	// GoVersion is the toolchain that built the producing binary.
+	GoVersion string `json:"go_version,omitempty"`
+	// Options are the shared experiment options of the campaign.
+	Options Options `json:"options"`
+	// Tables holds every generated table in campaign order.
+	Tables []*Table `json:"tables"`
 }
 
 // NewRunManifest returns a campaign manifest stamped with the schema
@@ -41,4 +52,18 @@ func (m *RunManifest) Encode(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(m)
+}
+
+// DecodeRunManifest parses a serialized campaign manifest, rejecting
+// documents from a different schema version (cmd/mndocs renders docs
+// from these and must not silently consume a stale layout).
+func DecodeRunManifest(raw []byte) (*RunManifest, error) {
+	var m RunManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("experiments: manifest: %w", err)
+	}
+	if m.Schema != CampaignSchema {
+		return nil, fmt.Errorf("experiments: manifest schema %q, want %q", m.Schema, CampaignSchema)
+	}
+	return &m, nil
 }

@@ -5,7 +5,6 @@ import (
 
 	"memnet/internal/arb"
 	"memnet/internal/config"
-	"memnet/internal/core"
 	"memnet/internal/fault"
 	"memnet/internal/topology"
 )
@@ -23,8 +22,12 @@ var resilienceBERs = []float64{1e-7, 5e-7, 1e-6, 5e-6}
 // tracks each topology's traffic concentration — chains retransmit on
 // the hot host link, trees spread the exposure.
 //
-// Runs bypass the memoizing cache: the cache key identifies healthy
-// configurations only, and these runs are anything but.
+// Baseline runs go through the memoizing Run path (they are ordinary
+// healthy configurations, shared with the figure sweeps); the faulty
+// runs bypass it — the in-memory cache key identifies healthy
+// configurations only — but still flow through the pluggable simulate
+// backend, so a campaign cache (which fingerprints the fault scenario)
+// covers them too.
 func (r *Runner) Resilience() (*Table, error) {
 	suite := r.Opts.suite()
 	wl := suite[0]
@@ -47,7 +50,7 @@ func (r *Runner) Resilience() (*Table, error) {
 	}
 	for _, topo := range topos {
 		cfg := MNConfig{Topo: topo, DRAMFraction: 1.0, Placement: config.NVMLast, Arb: arb.RoundRobin}
-		base, err := core.Simulate(r.params(cfg, wl))
+		base, err := r.Run(cfg, wl)
 		if err != nil {
 			return nil, fmt.Errorf("resilience %s baseline: %w", cfg.Label(), err)
 		}
@@ -55,7 +58,7 @@ func (r *Runner) Resilience() (*Table, error) {
 		for _, ber := range resilienceBERs {
 			p := r.params(cfg, wl)
 			p.Fault = &fault.Config{Seed: r.Opts.Seed, LinkBER: ber}
-			res, err := core.Simulate(p)
+			res, err := r.simulate(p)
 			if err != nil {
 				return nil, fmt.Errorf("resilience %s BER %.0e: %w", cfg.Label(), ber, err)
 			}

@@ -1,0 +1,59 @@
+package fnv
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// TestMatchesStdlib pins the byte-folding to the standard library's
+// FNV-1a 64: the idiom must stay the real FNV, not a lookalike.
+func TestMatchesStdlib(t *testing.T) {
+	for _, s := range []string{"", "a", "memnet", "There and Back Again"} {
+		std := fnv.New64a()
+		std.Write([]byte(s))
+		h := New()
+		for i := 0; i < len(s); i++ {
+			h = h.Byte(s[i])
+		}
+		if h.Sum() != std.Sum64() {
+			t.Errorf("Byte folding of %q = %#x, stdlib fnv-1a = %#x", s, h.Sum(), std.Sum64())
+		}
+	}
+}
+
+// TestLengthPrefix checks that adjacent strings cannot alias.
+func TestLengthPrefix(t *testing.T) {
+	a := New().Str("ab").Str("c").Sum()
+	b := New().Str("a").Str("bc").Sum()
+	if a == b {
+		t.Fatalf("Str aliasing: %#x == %#x", a, b)
+	}
+}
+
+// TestSensitivity checks every writer changes the sum.
+func TestSensitivity(t *testing.T) {
+	base := New().U64(1).I64(-2).Int(3).F64(0.5).Bool(true).Str("x").Sum()
+	alts := []Hash{
+		New().U64(2).I64(-2).Int(3).F64(0.5).Bool(true).Str("x"),
+		New().U64(1).I64(2).Int(3).F64(0.5).Bool(true).Str("x"),
+		New().U64(1).I64(-2).Int(4).F64(0.5).Bool(true).Str("x"),
+		New().U64(1).I64(-2).Int(3).F64(0.25).Bool(true).Str("x"),
+		New().U64(1).I64(-2).Int(3).F64(0.5).Bool(false).Str("x"),
+		New().U64(1).I64(-2).Int(3).F64(0.5).Bool(true).Str("y"),
+	}
+	for i, h := range alts {
+		if h.Sum() == base {
+			t.Errorf("alternative %d collides with base %#x", i, base)
+		}
+	}
+}
+
+// TestNaNCanonical checks all NaN bit patterns hash alike.
+func TestNaNCanonical(t *testing.T) {
+	nan1 := math.NaN()
+	nan2 := math.Float64frombits(math.Float64bits(math.NaN()) ^ 1)
+	if New().F64(nan1).Sum() != New().F64(nan2).Sum() {
+		t.Fatal("NaN payloads hash differently")
+	}
+}

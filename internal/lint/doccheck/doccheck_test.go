@@ -1,0 +1,18 @@
+package doccheck_test
+
+import (
+	"testing"
+
+	"memnet/internal/lint/analysistest"
+	"memnet/internal/lint/doccheck"
+)
+
+func TestDoccheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), doccheck.Analyzer,
+		"memnet/internal/campaign/dc")
+}
+
+func TestUnrestrictedPackageIgnored(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), doccheck.Analyzer,
+		"free")
+}

@@ -1,0 +1,8 @@
+// Package free is outside the documented-API set: nothing is required.
+package free
+
+type Bare struct{ X int }
+
+func Undoc() {}
+
+var Loose int

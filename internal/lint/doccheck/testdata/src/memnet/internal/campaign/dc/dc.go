@@ -1,0 +1,50 @@
+// Package dc is a doccheck fixture posing as a campaign subpackage.
+package dc
+
+// Documented is fine.
+type Documented struct {
+	// A is documented.
+	A int
+	C int // want `exported field Documented.C has no doc comment`
+	d int
+}
+
+type Bare struct{} // want `exported type Bare has no doc comment`
+
+type hidden struct{ X int } // unexported type: no requirement
+
+// Iface is documented.
+type Iface interface {
+	// Do is documented.
+	Do()
+	Go() // want `exported interface method Iface.Go has no doc comment`
+}
+
+// Grouped declarations share one doc comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const Loose = 3 // want `exported constant Loose has no doc comment`
+
+var LooseVar int // want `exported variable LooseVar has no doc comment`
+
+//lint:nodoc internal escape hatch
+var Escaped int
+
+// Fn is documented.
+func Fn() {}
+
+func Undoc() {} // want `exported function Undoc has no doc comment`
+
+func helper() {}
+
+// Method is documented.
+func (Documented) Method() {}
+
+func (*Documented) Undoc() {} // want `exported method Documented.Undoc has no doc comment`
+
+func (hidden) Exported() {} // method on unexported type: no requirement
+
+var _ = func() { helper() }

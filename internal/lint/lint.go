@@ -1,12 +1,15 @@
 // Package lint assembles mnlint, memnet's determinism and
-// packet-ownership linter suite. The five analyzers enforce the
-// invariants the simulator's bit-identical-replay guarantee rests on:
+// packet-ownership linter suite. The analyzers enforce the invariants
+// the simulator's bit-identical-replay guarantee rests on, plus the
+// repo's documentation policy:
 //
 //	detmap     no unordered map iteration in simulation packages
 //	wallclock  no host clock or global math/rand in simulation packages
 //	poolcheck  no use of a *packet.Packet after Pool.Put releases it
 //	schedcheck no possibly-negative or float-derived event delays
 //	statskey   no fmt-built stat keys or string-keyed counters on hot paths
+//	doccheck   no undocumented exported identifiers in the documented-API
+//	           packages (campaign, experiments, obs, fnv)
 //
 // See DESIGN.md ("Determinism rules") for the rationale and the
 // //lint: annotation escape hatches. cmd/mnlint is the driver.
@@ -15,6 +18,7 @@ package lint
 import (
 	"memnet/internal/lint/analysis"
 	"memnet/internal/lint/detmap"
+	"memnet/internal/lint/doccheck"
 	"memnet/internal/lint/poolcheck"
 	"memnet/internal/lint/schedcheck"
 	"memnet/internal/lint/statskey"
@@ -29,6 +33,7 @@ func Analyzers() []*analysis.Analyzer {
 		poolcheck.Analyzer,
 		schedcheck.Analyzer,
 		statskey.Analyzer,
+		doccheck.Analyzer,
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"memnet/internal/config"
 	"memnet/internal/energy"
+	"memnet/internal/fnv"
 	"memnet/internal/sim"
 )
 
@@ -272,13 +273,11 @@ func (m *Manager) Fingerprint() uint64 {
 		logicals = append(logicals, logical)
 	}
 	slices.Sort(logicals)
-	const prime = 1099511628211 // FNV-1a 64-bit
-	h := uint64(14695981039346656037)
+	h := fnv.New()
 	for _, l := range logicals {
-		h = (h ^ l) * prime
-		h = (h ^ m.remap[l]) * prime
+		h = h.U64(l).U64(m.remap[l])
 	}
-	return h
+	return h.Sum()
 }
 
 // Validate checks the indirection table's correctness invariant: it

@@ -112,7 +112,7 @@ func (h *Histogram) Mean() sim.Time {
 	return h.sum / sim.Time(h.count)
 }
 
-// Min and Max report the observed extremes (exact, not bucketed).
+// Min reports the smallest observed sample (exact, not bucketed).
 func (h *Histogram) Min() sim.Time {
 	if h == nil {
 		return 0
@@ -120,6 +120,7 @@ func (h *Histogram) Min() sim.Time {
 	return h.min
 }
 
+// Max reports the largest observed sample (exact, not bucketed).
 func (h *Histogram) Max() sim.Time {
 	if h == nil {
 		return 0

@@ -17,53 +17,79 @@ const ManifestSchema = "memnet/run-manifest/v1"
 // fairness series). Config, Results, Nodes, and Fault are typed by the
 // caller (core wires its own structs) so obs stays dependency-free.
 type Manifest struct {
-	Schema    string `json:"schema"`
-	GitRef    string `json:"git_ref,omitempty"`
+	// Schema is ManifestSchema at write time.
+	Schema string `json:"schema"`
+	// GitRef is the VCS revision of the producing binary, when stamped.
+	GitRef string `json:"git_ref,omitempty"`
+	// GoVersion is the toolchain that built the producing binary.
 	GoVersion string `json:"go_version,omitempty"`
 
-	Label    string `json:"label,omitempty"`
-	Seed     int64  `json:"seed"`
+	// Label is the paper-style configuration name.
+	Label string `json:"label,omitempty"`
+	// Seed is the workload seed the run used.
+	Seed int64 `json:"seed"`
+	// Workload names the traffic proxy.
 	Workload string `json:"workload,omitempty"`
 
-	Config  any `json:"config,omitempty"`
+	// Config is the caller-typed full run configuration.
+	Config any `json:"config,omitempty"`
+	// Results is the caller-typed results record.
 	Results any `json:"results,omitempty"`
-	Nodes   any `json:"nodes,omitempty"`
-	Fault   any `json:"fault,omitempty"`
+	// Nodes is the caller-typed per-node report.
+	Nodes any `json:"nodes,omitempty"`
+	// Fault is the caller-typed fault-counter record.
+	Fault any `json:"fault,omitempty"`
 
-	SampleIntervalPs int64              `json:"sample_interval_ps,omitempty"`
-	Samples          int                `json:"samples,omitempty"`
-	Fairness         map[string]float64 `json:"fairness,omitempty"`
+	// SampleIntervalPs is the sampler period in picoseconds (0 = off).
+	SampleIntervalPs int64 `json:"sample_interval_ps,omitempty"`
+	// Samples counts interval snapshots the sampler took.
+	Samples int `json:"samples,omitempty"`
+	// Fairness maps series names to whole-run Jain fairness indices.
+	Fairness map[string]float64 `json:"fairness,omitempty"`
 
+	// Metrics is the end-of-run registry snapshot.
 	Metrics *MetricsDump `json:"metrics,omitempty"`
 }
 
 // MetricsDump is the end-of-run snapshot of a registry, sorted by
 // metric name within each kind for deterministic output.
 type MetricsDump struct {
-	Counters   []CounterDump `json:"counters,omitempty"`
-	Gauges     []GaugeDump   `json:"gauges,omitempty"`
-	Vecs       []VecDump     `json:"vecs,omitempty"`
-	Histograms []HistDump    `json:"histograms,omitempty"`
+	// Counters holds every counter's final value.
+	Counters []CounterDump `json:"counters,omitempty"`
+	// Gauges holds every gauge's value at dump time.
+	Gauges []GaugeDump `json:"gauges,omitempty"`
+	// Vecs holds every labelled vector's values.
+	Vecs []VecDump `json:"vecs,omitempty"`
+	// Histograms holds every histogram's quantile summary.
+	Histograms []HistDump `json:"histograms,omitempty"`
 }
 
 // CounterDump is one counter's final value.
 type CounterDump struct {
-	Name  string `json:"name"`
+	// Name is the registered metric name.
+	Name string `json:"name"`
+	// Value is the final count.
 	Value uint64 `json:"value"`
 }
 
 // GaugeDump is one gauge's value at dump time.
 type GaugeDump struct {
-	Name  string `json:"name"`
-	Value int64  `json:"value"`
+	// Name is the registered metric name.
+	Name string `json:"name"`
+	// Value is the gauge reading at dump time.
+	Value int64 `json:"value"`
 }
 
 // VecDump is one vector's labelled values at dump time.
 type VecDump struct {
-	Name   string   `json:"name"`
+	// Name is the registered metric name.
+	Name string `json:"name"`
+	// Labels names the vector's elements, index-aligned with Values.
 	Labels []string `json:"labels"`
+	// Values holds the per-element counts.
 	Values []uint64 `json:"values"`
-	Jain   float64  `json:"jain"`
+	// Jain is the Jain fairness index over Values.
+	Jain float64 `json:"jain"`
 }
 
 // HistDump summarizes one histogram: count, mean and nearest-rank
@@ -71,14 +97,22 @@ type VecDump struct {
 // resolution (quarter-octave) makes the quantile set a faithful and far
 // smaller summary.
 type HistDump struct {
-	Name   string `json:"name"`
-	Count  uint64 `json:"count"`
-	MinPs  int64  `json:"min_ps"`
-	MaxPs  int64  `json:"max_ps"`
-	MeanPs int64  `json:"mean_ps"`
-	P50Ps  int64  `json:"p50_ps"`
-	P90Ps  int64  `json:"p90_ps"`
-	P99Ps  int64  `json:"p99_ps"`
+	// Name is the registered metric name.
+	Name string `json:"name"`
+	// Count is the number of recorded samples.
+	Count uint64 `json:"count"`
+	// MinPs is the smallest recorded sample, in picoseconds.
+	MinPs int64 `json:"min_ps"`
+	// MaxPs is the largest recorded sample, in picoseconds.
+	MaxPs int64 `json:"max_ps"`
+	// MeanPs is the sample mean, in picoseconds.
+	MeanPs int64 `json:"mean_ps"`
+	// P50Ps is the nearest-rank median, in picoseconds.
+	P50Ps int64 `json:"p50_ps"`
+	// P90Ps is the nearest-rank 90th percentile, in picoseconds.
+	P90Ps int64 `json:"p90_ps"`
+	// P99Ps is the nearest-rank 99th percentile, in picoseconds.
+	P99Ps int64 `json:"p99_ps"`
 }
 
 // Dump snapshots every registered metric, sorted by name within each

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"memnet/internal/arb"
+	"memnet/internal/campaign"
 	"memnet/internal/config"
 	"memnet/internal/core"
 	"memnet/internal/fault"
@@ -318,6 +319,40 @@ func Run(c Config) (Results, error) {
 		return Results{}, err
 	}
 	return core.Simulate(p)
+}
+
+// RunCached is Run backed by the persistent content-addressed result
+// cache rooted at cacheDir (created if missing, shared with mnexp
+// -cache). A run whose fingerprint is already stored is returned
+// without simulating (cached=true); otherwise it simulates and writes
+// the result back. Runs that produce side artifacts (trace replay or
+// recording, packet tracing, telemetry) bypass the cache, as does an
+// empty cacheDir.
+func RunCached(c Config, cacheDir string) (res Results, cached bool, err error) {
+	p, err := c.params()
+	if err != nil {
+		return Results{}, false, err
+	}
+	if cacheDir == "" || !campaign.Cacheable(p) {
+		res, err = core.Simulate(p)
+		return res, false, err
+	}
+	store, err := campaign.Open(cacheDir)
+	if err != nil {
+		return Results{}, false, err
+	}
+	fp := campaign.FingerprintParams(p)
+	if res, ok := store.Get(fp); ok {
+		return res, true, nil
+	}
+	res, err = core.Simulate(p)
+	if err != nil {
+		return Results{}, false, err
+	}
+	if err := store.Put(fp, campaign.KeyOf(p), res); err != nil {
+		return Results{}, false, err
+	}
+	return res, false, nil
 }
 
 // Speedup runs two configurations and returns a's speedup over b

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"memnet/internal/experiments"
@@ -32,7 +33,10 @@ type Measurement struct {
 
 // Comparison pairs the recorded seed baseline with a fresh measurement.
 type Comparison struct {
-	Description string      `json:"description"`
+	Description string `json:"description"`
+	// Shards is the worker-goroutine count the measurement ran with
+	// (1 = sequential engine; 0 for pre-parallel benchmarks).
+	Shards      int         `json:"shards,omitempty"`
 	Seed        Measurement `json:"seed_baseline"`
 	Current     Measurement `json:"current"`
 	NsDeltaPct  float64     `json:"ns_delta_pct"`
@@ -41,9 +45,14 @@ type Comparison struct {
 
 // Report is the BENCH_engine.json schema.
 type Report struct {
-	Note         string                `json:"note"`
-	Transactions uint64                `json:"transactions_per_run"`
-	Benchmarks   map[string]Comparison `json:"benchmarks"`
+	Note         string `json:"note"`
+	Transactions uint64 `json:"transactions_per_run"`
+	// CPUs and GOMAXPROCS record the machine the numbers were taken on:
+	// the FigNParallel speedups are bounded by min(shards, CPUs), so a
+	// 1-CPU container legitimately records ~1x there.
+	CPUs       int                   `json:"cpus"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	Benchmarks map[string]Comparison `json:"benchmarks"`
 }
 
 // Seed-engine numbers, recorded on the container/heap scheduler at the
@@ -91,24 +100,44 @@ func main() {
 	rep := Report{
 		Note: "Engine hot-path baseline. Regenerate with `go run ./cmd/mnbench` " +
 			"after any scheduler or hot-path change; negative deltas are improvements " +
-			"over the container/heap seed engine.",
+			"over the container/heap seed engine. Fig4Parallel{2,4,8} share the " +
+			"sequential Fig4 seed baseline, so their ns_delta_pct is the parallel " +
+			"speedup trajectory (bounded by min(shards, cpus)).",
 		Transactions: *txns,
+		CPUs:         runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		Benchmarks:   map[string]Comparison{},
 	}
 
-	fmt.Fprintln(os.Stderr, "mnbench: running Fig4TopologySpeedup...")
-	fig4 := measure(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			r := experiments.NewRunner(experiments.Options{Transactions: *txns, Seed: 1})
-			if _, err := r.Fig4(); err != nil {
-				b.Fatal(err)
+	fig4Bench := func(parallel int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := experiments.NewRunner(experiments.Options{Transactions: *txns, Seed: 1, Parallel: parallel})
+				if _, err := r.Fig4(); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
-	})
-	rep.Benchmarks["Fig4TopologySpeedup"] = compare(
-		"End-to-end Fig. 4 regeneration: every topology x workload pair through the full simulator",
+	}
+
+	fmt.Fprintln(os.Stderr, "mnbench: running Fig4TopologySpeedup...")
+	fig4 := measure(fig4Bench(1))
+	seq := compare(
+		"End-to-end Fig. 4 regeneration: every topology x workload pair through the full simulator (sequential)",
 		seedBaseline["Fig4TopologySpeedup"], fig4)
+	seq.Shards = 1
+	rep.Benchmarks["Fig4TopologySpeedup"] = seq
+
+	for _, n := range []int{2, 4, 8} {
+		name := fmt.Sprintf("Fig4Parallel%d", n)
+		fmt.Fprintf(os.Stderr, "mnbench: running %s...\n", name)
+		c := compare(
+			fmt.Sprintf("Fig. 4 regeneration fanned over %d workers; tables are bit-identical to the sequential run", n),
+			seedBaseline["Fig4TopologySpeedup"], measure(fig4Bench(n)))
+		c.Shards = n
+		rep.Benchmarks[name] = c
+	}
 
 	fmt.Fprintln(os.Stderr, "mnbench: running EngineEvents...")
 	events := measure(func(b *testing.B) {
@@ -128,6 +157,40 @@ func main() {
 	rep.Benchmarks["EngineEvents"] = compare(
 		"Raw event schedule+dispatch through the heap (one pending event)",
 		seedBaseline["EngineEvents"], events)
+
+	fmt.Fprintln(os.Stderr, "mnbench: running EngineEventsParallel...")
+	par := measure(func(b *testing.B) {
+		b.ReportAllocs()
+		const shards = 4
+		const la = sim.Time(10)
+		p := sim.NewParallel(shards)
+		for i := 0; i < shards; i++ {
+			p.Connect(sim.ShardID(i), sim.ShardID((i+1)%shards), la)
+		}
+		hop := make([]sim.ArgHandler, shards)
+		for i := 0; i < shards; i++ {
+			s := p.Shard(i)
+			next := (i + 1) % shards
+			hop[i] = func(arg any) {
+				if n := arg.(int); n > 0 {
+					s.PostArg(sim.ShardID(next), s.Engine().Now()+la, hop[next], n-1)
+				}
+			}
+		}
+		quota := b.N / shards
+		if quota == 0 {
+			quota = 1
+		}
+		for i := 0; i < shards; i++ {
+			p.Shard(i).Engine().AtArg(0, hop[i], quota)
+		}
+		p.Run(shards)
+	})
+	parc := compare(
+		"Cross-shard post+merge+dispatch: 4 rings hopping around a 4-shard Parallel (worst case: every event crosses a boundary)",
+		seedBaseline["EngineEvents"], par)
+	parc.Shards = 4
+	rep.Benchmarks["EngineEventsParallel"] = parc
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

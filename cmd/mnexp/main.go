@@ -47,6 +47,7 @@ func main() {
 		shardStr = flag.String("shard", "", "run partition k/n of the full campaign grid into -cache and exit (ignores -exp)")
 		mergeStr = flag.String("merge", "", "comma-separated shard cache directories to merge into -cache before generating tables")
 		maniOut  = flag.String("manifest", "", "also write the campaign manifest JSON to this file")
+		shards   = flag.Int("shards", 0, "worker goroutines fanning out independent simulation runs; tables are identical for every value (0 = sequential)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -70,6 +71,9 @@ func main() {
 		opts.Transactions = *txns
 	}
 	opts.Seed = *seed
+	if *shards > 0 {
+		opts.Parallel = *shards
+	}
 
 	var store *campaign.Store
 	if *cacheDir != "" {

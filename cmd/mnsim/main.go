@@ -32,6 +32,7 @@ func main() {
 		txns      = flag.Uint64("txns", 20000, "transactions to complete")
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		ports     = flag.Int("ports", 8, "host memory ports")
+		shards    = flag.Int("shards", 0, "simulate the whole machine (all ports) on the partitioned parallel engine with N worker goroutines; results are identical for every N (0 = classic single-port run)")
 		capTB     = flag.Int("capacity-tb", 2, "total memory capacity in TB")
 		verbose   = flag.Bool("v", false, "print per-component detail")
 		failLink  = flag.Int("fail-link", -1, "fail the topology edge with this index (RAS experiment)")
@@ -116,6 +117,31 @@ func main() {
 		f.Close()
 		check(err)
 		cfg.ReplayTrace = trace
+	}
+
+	if *shards > 0 {
+		cfg.Shards = *shards
+		mr, err := memnet.RunMachine(cfg)
+		check(err)
+		// The worker count is deliberately absent from the report: output
+		// must be byte-identical for every -shards value (CI diffs it).
+		fmt.Fprintf(status, "machine       %d ports\n", len(mr.PerPort))
+		fmt.Fprintf(status, "finish time   %v  (slowest port; %d transactions machine-wide)\n",
+			mr.FinishTime, mr.Transactions)
+		fmt.Fprintf(status, "mean latency  %v  (transaction-weighted across ports)\n", mr.MeanLatency)
+		fmt.Fprintf(status, "traffic       %d reads / %d writes, %.2f mean hops\n",
+			mr.Reads, mr.Writes, mr.MeanHops)
+		fmt.Fprintf(status, "energy        %.1f uJ network | %.1f uJ read | %.1f uJ write\n",
+			mr.Energy.NetworkPJ/1e6, mr.Energy.ReadPJ/1e6, mr.Energy.WritePJ/1e6)
+		fmt.Fprintf(status, "fairness      %.4f (Jain over per-port finish times)\n", mr.Fairness)
+		if *verbose {
+			fmt.Fprintf(status, "sim events    %d\n", mr.Events)
+			for i, r := range mr.PerPort {
+				fmt.Fprintf(status, "port %-2d       finish %v  latency %v  txns %d  events %d\n",
+					i, r.FinishTime, r.MeanLatency, r.Transactions, r.Events)
+			}
+		}
+		return
 	}
 
 	in, err := memnet.Build(cfg)

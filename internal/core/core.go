@@ -239,8 +239,15 @@ func TechOrder(sys *config.System) ([]config.MemTech, error) {
 	return techs, nil
 }
 
-// Build constructs a simulation instance from params.
+// Build constructs a simulation instance from params on a fresh engine.
 func Build(p Params) (*Instance, error) {
+	return buildOn(sim.NewEngine(), p)
+}
+
+// buildOn constructs a simulation instance on a caller-supplied engine,
+// so a partitioned machine run can place each port's instance on its
+// shard's engine. The engine must be at time zero with nothing pending.
+func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 	if err := p.Sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -296,7 +303,6 @@ func Build(p Params) (*Instance, error) {
 		return nil, err
 	}
 
-	eng := sim.NewEngine()
 	meter := energy.NewMeter(p.Sys.Energy)
 	collector := stats.NewCollector(p.KeepSamples)
 
@@ -848,8 +854,17 @@ func (in *Instance) Run() (Results, error) {
 		return !in.Port.Done()
 	})
 	if in.Watchdog != nil && in.Watchdog.Tripped() {
+		// In a partitioned machine run each shard has its own clock; a
+		// wedge is local to one shard, so name it and report its local
+		// trip time rather than implying a global stall.
+		where := ""
+		if in.Watchdog.Shard() != sim.NoShard {
+			where = fmt.Sprintf(" [shard %d, local time %v]",
+				in.Watchdog.Shard(), in.Watchdog.TrippedAt())
+		}
 		return Results{}, fmt.Errorf(
-			"core: watchdog: no forward progress over %v with packets in flight in %s/%s (%d/%d transactions at %v)\n%s",
+			"core: watchdog%s: no forward progress over %v with packets in flight in %s/%s (%d/%d transactions at %v)\n%s",
+			where,
 			sim.Time(in.faultCfg.WatchdogStale)*in.faultCfg.WatchdogInterval,
 			in.Params.Label(), in.Params.Workload.Name,
 			in.Collector.Completed(), in.Params.Transactions, in.Eng.Now(),

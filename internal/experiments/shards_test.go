@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFigureTablesShardInvariant pins the `mnexp -shards` contract:
+// figure tables are byte-identical whatever the worker count, because
+// every simulation is an independent engine and table assembly happens
+// on the calling goroutine in a fixed order. A small transaction count
+// and a two-workload suite keep the check fast while still fanning
+// enough runs to exercise the pool.
+func TestFigureTablesShardInvariant(t *testing.T) {
+	build := func(parallel int) map[string]*Table {
+		opts := Options{
+			Transactions: 300,
+			Seed:         1,
+			Workloads:    []string{"KMEANS", "BIT"},
+			Parallel:     parallel,
+		}
+		r := NewRunner(opts)
+		out := map[string]*Table{}
+		for _, id := range []string{"fig4", "fig5"} {
+			for _, f := range r.Figures() {
+				if f.ID != id {
+					continue
+				}
+				tab, err := f.Fn()
+				if err != nil {
+					t.Fatalf("parallel=%d %s: %v", parallel, id, err)
+				}
+				out[id] = tab
+			}
+		}
+		return out
+	}
+	seq := build(1)
+	par := build(4)
+	for id, tab := range seq {
+		if !reflect.DeepEqual(tab, par[id]) {
+			t.Errorf("%s differs between -shards 1 and -shards 4\n seq: %+v\n par: %+v",
+				id, tab, par[id])
+		}
+	}
+}

@@ -8,6 +8,8 @@
 //	poolcheck  no use of a *packet.Packet after Pool.Put releases it
 //	schedcheck no possibly-negative or float-derived event delays
 //	statskey   no fmt-built stat keys or string-keyed counters on hot paths
+//	sharedstate no unguarded package-level writes or non-channel
+//	           cross-goroutine access in internal/sim and internal/core
 //	doccheck   no undocumented exported identifiers in the documented-API
 //	           packages (campaign, experiments, obs, fnv)
 //
@@ -21,6 +23,7 @@ import (
 	"memnet/internal/lint/doccheck"
 	"memnet/internal/lint/poolcheck"
 	"memnet/internal/lint/schedcheck"
+	"memnet/internal/lint/sharedstate"
 	"memnet/internal/lint/statskey"
 	"memnet/internal/lint/wallclock"
 )
@@ -32,6 +35,7 @@ func Analyzers() []*analysis.Analyzer {
 		wallclock.Analyzer,
 		poolcheck.Analyzer,
 		schedcheck.Analyzer,
+		sharedstate.Analyzer,
 		statskey.Analyzer,
 		doccheck.Analyzer,
 	}

@@ -1,0 +1,20 @@
+// Package notsim is outside internal/sim and internal/core, so the
+// sharedstate analyzer must not report anything here.
+package notsim
+
+var counter int
+
+func bump() {
+	counter++
+}
+
+func fanOut(n int) int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		total = n
+		close(done)
+	}()
+	<-done
+	return total
+}

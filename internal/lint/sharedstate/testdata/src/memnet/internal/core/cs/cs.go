@@ -1,0 +1,8 @@
+// Package cs checks that internal/core is gated like internal/sim.
+package cs
+
+var mode string
+
+func setMode(m string) {
+	mode = m // want `write to package-level variable mode`
+}

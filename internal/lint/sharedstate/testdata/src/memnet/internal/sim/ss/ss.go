@@ -1,0 +1,110 @@
+// Package ss is a sharedstate fixture posing as a simulation package.
+package ss
+
+import "sync"
+
+// counter is package-level mutable state.
+var counter int
+
+var registry = map[string]int{}
+
+// totalInit is written only from init, which is allowed.
+var totalInit int
+
+func init() {
+	totalInit = 7
+}
+
+// Bad: runtime write to a package-level variable.
+func bump() {
+	counter++ // want `write to package-level variable counter`
+}
+
+// Bad: assignment form, and an indexed write through a global map.
+func record(k string) {
+	counter = counter + 1 // want `write to package-level variable counter`
+	registry[k] = counter // want `write to package-level variable registry`
+}
+
+// Good: annotated global write (e.g. a test hook set before any shard
+// goroutine starts).
+func setHook(n int) {
+	//lint:sharded set once at startup before shards exist
+	counter = n
+}
+
+// Bad: a goroutine mutating a variable captured from the enclosing
+// function instead of communicating over a channel.
+func fanOut(n int) int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			total += i // want `goroutine writes captured variable total`
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// Good: the result travels over a channel; the goroutine only writes
+// its own locals.
+func fanOutChan(n int) int {
+	out := make(chan int)
+	go func() {
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += i
+		}
+		out <- sum
+	}()
+	return <-out
+}
+
+// Good: mutex-guarded write, annotated with the discipline.
+type box struct {
+	mu sync.Mutex
+	v  []int
+}
+
+func (b *box) collect(n int) {
+	var wg sync.WaitGroup
+	local := []int{}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.mu.Lock()
+		//lint:sharded guarded by b.mu; drained only after wg.Wait
+		local = append(local, n)
+		//lint:sharded guarded by b.mu
+		b.v = append(b.v, n)
+		b.mu.Unlock()
+	}()
+	wg.Wait()
+}
+
+// Bad: the same shape without the annotation.
+func (b *box) collectBad(n int) {
+	var wg sync.WaitGroup
+	local := []int{}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.mu.Lock()
+		local = append(local, n) // want `goroutine writes captured variable local`
+		b.mu.Unlock()
+	}()
+	wg.Wait()
+	_ = local
+}
+
+// Good: goroutine parameters and goroutine-local declarations are fine.
+func workers(jobs chan int) {
+	go func(scale int) {
+		acc := 0
+		for j := range jobs {
+			acc += j * scale
+		}
+	}(2)
+}

@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ShardID identifies one partition of a parallel simulation.
+type ShardID int32
+
+// NoShard marks a component that is not running inside a partitioned
+// simulation (the default for a standalone Engine).
+const NoShard ShardID = -1
+
+// maxTime is the window horizon used when no cross-shard channel
+// bounds the lookahead: shards may free-run arbitrarily far.
+const maxTime = Time(1<<63 - 1)
+
+// xevent is one cross-shard event parked in a receiving shard's inbox.
+// The (at, src, seq) triple is the deterministic merge key: seq is the
+// sender's post counter, so sorting reproduces the sender's own post
+// order no matter how goroutines interleaved, and src breaks ties
+// between same-instant posts from different shards.
+type xevent struct {
+	at  Time
+	src ShardID
+	seq uint64
+	fn  Handler
+	afn ArgHandler
+	arg any
+}
+
+// Body is a shard's per-window execution hook: it runs the shard's
+// events scheduled strictly before horizon and returns true once the
+// shard has permanently finished (it will make no further progress even
+// if time advances). The default body runs the shard's engine dry up to
+// the horizon and reports done when the queue is empty; custom bodies
+// (e.g. one whole-port simulation per shard) may stop on their own
+// completion criteria instead.
+type Body func(e *Engine, horizon Time) (done bool)
+
+// Shard is one independently-clocked partition of a Parallel
+// simulation: a sequential Engine plus an inbox for events posted by
+// other shards. All of a shard's events run on a single goroutine, so
+// components owned by a shard need no locking — exactly the ownership
+// discipline of a standalone Engine.
+type Shard struct {
+	id  ShardID
+	par *Parallel
+	eng *Engine
+
+	body Body
+	done bool
+
+	// postSeq counts this shard's outgoing posts; it is written only by
+	// the shard's own worker goroutine.
+	postSeq uint64
+
+	// inbox collects cross-shard arrivals. Senders append under mu
+	// during a window; the coordinator alone drains it between windows
+	// (the window barrier orders the two phases).
+	mu    sync.Mutex
+	inbox []xevent
+}
+
+// ID returns the shard's index within its Parallel set.
+func (s *Shard) ID() ShardID { return s.id }
+
+// Engine returns the shard's sequential event engine. It must only be
+// used from the shard's own events (or between Run windows).
+func (s *Shard) Engine() *Engine { return s.eng }
+
+// SetBody replaces the shard's per-window execution hook; see Body.
+func (s *Shard) SetBody(b Body) { s.body = b }
+
+// Post schedules fn on the destination shard at absolute time at. It is
+// the only legal way for one shard's event to reach another shard. The
+// conservative contract is enforced, not assumed: a channel with a
+// positive lookahead must have been declared with Connect, and at must
+// be no earlier than the sender's clock plus that lookahead — so the
+// destination, which may already have advanced to within one window of
+// the sender, never observes an event in its past.
+func (s *Shard) Post(dst ShardID, at Time, fn Handler) {
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	s.post(dst, xevent{at: at, fn: fn})
+}
+
+// PostArg is Post for a bound ArgHandler, mirroring Engine.AtArg.
+func (s *Shard) PostArg(dst ShardID, at Time, fn ArgHandler, arg any) {
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	s.post(dst, xevent{at: at, afn: fn, arg: arg})
+}
+
+func (s *Shard) post(dst ShardID, ev xevent) {
+	p := s.par
+	if dst < 0 || int(dst) >= len(p.shards) {
+		panic(fmt.Sprintf("sim: post to unknown shard %d", dst))
+	}
+	if dst == s.id {
+		// Same-shard posts are ordinary local events; the lookahead
+		// contract only exists to protect cross-goroutine hand-offs.
+		if ev.fn != nil {
+			s.eng.At(ev.at, ev.fn)
+		} else {
+			s.eng.AtArg(ev.at, ev.afn, ev.arg)
+		}
+		return
+	}
+	la := p.look[s.id][dst]
+	if la == Never {
+		panic(fmt.Sprintf("sim: post from shard %d to %d without a declared channel", s.id, dst))
+	}
+	if min := s.eng.Now() + la; ev.at < min {
+		panic(fmt.Sprintf(
+			"sim: post from shard %d at %v violates lookahead: event at %v < clock+lookahead %v",
+			s.id, s.eng.Now(), ev.at, min))
+	}
+	s.postSeq++
+	ev.src = s.id
+	ev.seq = s.postSeq
+	d := p.shards[dst]
+	d.mu.Lock()
+	d.inbox = append(d.inbox, ev)
+	d.mu.Unlock()
+}
+
+// drain moves the inbox into the engine in deterministic order. Called
+// only by the coordinator between windows.
+func (s *Shard) drain() int {
+	s.mu.Lock()
+	pending := s.inbox
+	s.inbox = nil
+	s.mu.Unlock()
+	if len(pending) == 0 {
+		return 0
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		a, b := &pending[i], &pending[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for _, ev := range pending {
+		if ev.fn != nil {
+			s.eng.At(ev.at, ev.fn)
+		} else {
+			s.eng.AtArg(ev.at, ev.afn, ev.arg)
+		}
+	}
+	return len(pending)
+}
+
+// defaultBody runs every pending event scheduled strictly before
+// horizon and reports whether the queue drained.
+func defaultBody(e *Engine, horizon Time) bool {
+	if horizon == maxTime {
+		e.Run()
+		return true
+	}
+	// RunUntil is inclusive of its deadline; the window must exclude
+	// the horizon itself because a cross-shard post may land exactly at
+	// clock+lookahead == horizon and must sort against local events
+	// under the deterministic merge, not race them.
+	e.RunUntil(horizon - 1)
+	return e.Pending() == 0
+}
+
+// Parallel is a conservative parallel discrete-event engine: a fixed
+// set of independently-clocked shards, each running its own sequential
+// Engine on a worker goroutine, synchronized by time-window barriers.
+//
+// Windowing: let T be the earliest pending event time across all
+// shards and W the smallest declared cross-shard lookahead. Every event
+// executed in the window fires at a time >= T, so every cross-shard
+// post made during it lands at or after T+W; shards may therefore
+// execute all events strictly before the horizon T+W in parallel
+// without ever receiving an event in their past. Between windows the
+// coordinator alone drains the inboxes into the destination engines in
+// (time, source shard, source post sequence) order, which is a pure
+// function of each sender's deterministic execution — so results are
+// bit-identical for any worker count, including the sequential
+// fallback at one worker.
+//
+// With no declared channels the lookahead is infinite and each shard
+// free-runs to completion — the degenerate (embarrassingly parallel)
+// case used for partitions with no boundary edges, e.g. the per-host-
+// port partition of a multi-port machine.
+type Parallel struct {
+	shards []*Shard
+	// look[src][dst] is the declared lookahead of the src->dst channel,
+	// or Never when undeclared.
+	look [][]Time
+	// window is the global window width: the minimum declared
+	// lookahead, or maxTime when no channels exist.
+	window Time
+
+	windows uint64
+}
+
+// NewParallel returns a Parallel simulation with n empty shards and no
+// cross-shard channels.
+func NewParallel(n int) *Parallel {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: non-positive shard count %d", n))
+	}
+	p := &Parallel{window: maxTime}
+	p.look = make([][]Time, n)
+	for i := range p.look {
+		p.look[i] = make([]Time, n)
+		for j := range p.look[i] {
+			p.look[i][j] = Never
+		}
+	}
+	for i := 0; i < n; i++ {
+		p.shards = append(p.shards, &Shard{
+			id:   ShardID(i),
+			par:  p,
+			eng:  NewEngine(),
+			body: defaultBody,
+		})
+	}
+	return p
+}
+
+// NumShards reports the shard count.
+func (p *Parallel) NumShards() int { return len(p.shards) }
+
+// Shard returns shard i.
+func (p *Parallel) Shard(i int) *Shard { return p.shards[i] }
+
+// Windows reports how many synchronization windows Run executed, for
+// tests and benchmarks.
+func (p *Parallel) Windows() uint64 { return p.windows }
+
+// Fired sums the event counts of every shard engine.
+func (p *Parallel) Fired() uint64 {
+	var n uint64
+	for _, s := range p.shards {
+		n += s.eng.Fired()
+	}
+	return n
+}
+
+// Connect declares a directed cross-shard channel with the given
+// lookahead: an event of shard src may post to dst no earlier than
+// src's clock plus the lookahead. For a shard boundary placed on a
+// SerDes link, the link's SerDes latency is the natural lookahead —
+// every arrival is scheduled at least that far past the sender's
+// clock. The global window width is the minimum lookahead over all
+// declared channels.
+func (p *Parallel) Connect(src, dst ShardID, lookahead Time) {
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: non-positive lookahead %v", lookahead))
+	}
+	if src == dst {
+		panic("sim: self-channel needs no declaration")
+	}
+	p.look[src][dst] = lookahead
+	if lookahead < p.window {
+		p.window = lookahead
+	}
+}
+
+// nextTime returns the earliest pending event time over every
+// unfinished shard.
+func (p *Parallel) nextTime() (Time, bool) {
+	var t Time
+	ok := false
+	for _, s := range p.shards {
+		if s.done {
+			continue
+		}
+		at, has := s.eng.PeekTime()
+		if !has {
+			continue
+		}
+		if !ok || at < t {
+			t, ok = at, true
+		}
+	}
+	return t, ok
+}
+
+// Run executes the simulation to completion over the given number of
+// worker goroutines (values below 1, or above the shard count, are
+// clamped; 1 is the sequential fallback). Shards are statically
+// assigned to workers round-robin, so a shard's events run on one
+// goroutine for the whole simulation. Run returns when every shard is
+// finished and every inbox is empty.
+func (p *Parallel) Run(workers int) {
+	n := len(p.shards)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Persistent workers: each owns the shards congruent to its index
+	// and runs one window per message on its start channel. A panic in
+	// a shard body (e.g. a lookahead violation) is captured and
+	// re-raised on the caller's goroutine after the barrier.
+	start := make([]chan Time, workers)
+	done := make(chan struct{}, workers)
+	panics := make([]any, workers)
+	for w := 0; w < workers; w++ {
+		start[w] = make(chan Time)
+		go func(w int) {
+			for horizon := range start[w] {
+				func() {
+					//lint:sharded slot w is written only by worker w; the done-channel barrier orders it before the coordinator's read
+					defer func() { panics[w] = recover() }()
+					for i := w; i < n; i += workers {
+						s := p.shards[i]
+						if s.done {
+							continue
+						}
+						//lint:sharded worker-confined: shard i is statically owned by worker i%workers and the coordinator only touches it between window barriers
+						s.done = s.body(s.eng, horizon)
+					}
+				}()
+				done <- struct{}{}
+			}
+		}(w)
+	}
+	defer func() {
+		for _, ch := range start {
+			close(ch)
+		}
+	}()
+
+	for {
+		// Coordinator phase: merge cross-shard arrivals, deterministic
+		// per shard; an arrival reactivates a drained default-body
+		// shard.
+		for _, s := range p.shards {
+			if s.drain() > 0 {
+				s.done = false
+			}
+		}
+		t, ok := p.nextTime()
+		if !ok {
+			return
+		}
+		horizon := maxTime
+		if p.window != maxTime {
+			horizon = t + p.window
+		}
+		p.windows++
+		for w := 0; w < workers; w++ {
+			start[w] <- horizon
+		}
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+		for w := 0; w < workers; w++ {
+			if r := panics[w]; r != nil {
+				panic(r)
+			}
+		}
+	}
+}

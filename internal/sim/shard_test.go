@@ -1,0 +1,349 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// ringSim wires nShards default-body shards into a ring of cross-shard
+// channels with the given lookahead and seeds each with deterministic
+// traffic: every event appends a record to its shard's log and, with
+// some probability, posts a follow-on to the next shard in the ring.
+// The logs are a full observable trace — if the parallel merge were
+// nondeterministic, they would differ between runs.
+type ringSim struct {
+	par  *Parallel
+	logs [][]string
+	rngs []*Rand
+}
+
+func newRingSim(nShards int, lookahead Time, events int) *ringSim {
+	r := &ringSim{
+		par:  NewParallel(nShards),
+		logs: make([][]string, nShards),
+		rngs: make([]*Rand, nShards),
+	}
+	for i := 0; i < nShards; i++ {
+		next := ShardID((i + 1) % nShards)
+		r.par.Connect(ShardID(i), next, lookahead)
+		r.rngs[i] = NewRand(uint64(1000 + i))
+	}
+	for i := 0; i < nShards; i++ {
+		i := i
+		s := r.par.Shard(i)
+		next := ShardID((i + 1) % nShards)
+		var hop func(tag int) Handler
+		hop = func(tag int) Handler {
+			return func() {
+				r.logs[i] = append(r.logs[i],
+					fmt.Sprintf("s%d t%v tag%d", i, s.Engine().Now(), tag))
+				if tag >= events {
+					return
+				}
+				// Mix of local follow-ons and cross-shard posts driven
+				// by a per-shard deterministic RNG.
+				delay := Time(r.rngs[i].Intn(50) + 1)
+				if r.rngs[i].Intn(3) == 0 {
+					at := s.Engine().Now() + lookahead + delay
+					s.Post(next, at, r.hopFor(int(next), tag+1, lookahead, events))
+				} else {
+					s.Engine().Schedule(delay, hop(tag+1))
+				}
+			}
+		}
+		s.Engine().Schedule(Time(i+1), hop(0))
+	}
+	return r
+}
+
+// hopFor builds the handler a cross-shard post installs on its
+// destination: it logs there and continues the cascade locally.
+func (r *ringSim) hopFor(dst, tag int, lookahead Time, events int) Handler {
+	s := r.par.Shard(dst)
+	return func() {
+		r.logs[dst] = append(r.logs[dst],
+			fmt.Sprintf("s%d t%v xtag%d", dst, s.Engine().Now(), tag))
+		if tag >= events {
+			return
+		}
+		next := ShardID((dst + 1) % r.par.NumShards())
+		if r.rngs[dst].Intn(2) == 0 {
+			at := s.Engine().Now() + lookahead + Time(r.rngs[dst].Intn(40)+1)
+			s.Post(next, at, r.hopFor(int(next), tag+1, lookahead, events))
+		}
+	}
+}
+
+func runRing(nShards, workers int, lookahead Time, events int) ([][]string, uint64) {
+	r := newRingSim(nShards, lookahead, events)
+	r.par.Run(workers)
+	return r.logs, r.par.Fired()
+}
+
+// TestParallelDeterministicAcrossWorkers pins the core promise: the
+// full event trace of a cross-posting simulation is identical whether
+// the shards run on one goroutine (sequential fallback) or many.
+func TestParallelDeterministicAcrossWorkers(t *testing.T) {
+	const shards, events = 4, 60
+	refLogs, refFired := runRing(shards, 1, 200, events)
+	if refFired == 0 {
+		t.Fatal("reference run fired no events")
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		logs, fired := runRing(shards, workers, 200, events)
+		if fired != refFired {
+			t.Fatalf("workers=%d fired %d events, want %d", workers, fired, refFired)
+		}
+		for i := range logs {
+			if len(logs[i]) != len(refLogs[i]) {
+				t.Fatalf("workers=%d shard %d logged %d records, want %d",
+					workers, i, len(logs[i]), len(refLogs[i]))
+			}
+			for j := range logs[i] {
+				if logs[i][j] != refLogs[i][j] {
+					t.Fatalf("workers=%d shard %d record %d = %q, want %q",
+						workers, i, j, logs[i][j], refLogs[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRepeatedRunsIdentical runs the same parallel config many
+// times at max workers; under -race this also exercises the inbox and
+// barrier synchronization for data races.
+func TestParallelRepeatedRunsIdentical(t *testing.T) {
+	refLogs, _ := runRing(4, 4, 150, 40)
+	for rep := 0; rep < 10; rep++ {
+		logs, _ := runRing(4, 4, 150, 40)
+		for i := range logs {
+			for j := range logs[i] {
+				if logs[i][j] != refLogs[i][j] {
+					t.Fatalf("rep %d shard %d record %d = %q, want %q",
+						rep, i, j, logs[i][j], refLogs[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelNoEarlyObservation is the barrier/lookahead property
+// test: across random cross-shard traffic, no shard ever executes a
+// cross-shard event earlier than the sender's clock at post time plus
+// the channel lookahead. The receiving handler checks its own clock
+// against the bound captured at the post site.
+func TestParallelNoEarlyObservation(t *testing.T) {
+	const shards = 5
+	const lookahead = Time(120)
+	par := NewParallel(shards)
+	for i := 0; i < shards; i++ {
+		for j := 0; j < shards; j++ {
+			if i != j {
+				par.Connect(ShardID(i), ShardID(j), lookahead)
+			}
+		}
+	}
+	rngs := make([]*Rand, shards)
+	for i := range rngs {
+		rngs[i] = NewRand(uint64(77 + i))
+	}
+	var violations atomic.Int64
+	var spawn func(src int, depth int) Handler
+	spawn = func(src, depth int) Handler {
+		s := par.Shard(src)
+		return func() {
+			if depth > 120 {
+				return
+			}
+			dst := rngs[src].Intn(shards - 1)
+			if dst >= src {
+				dst++
+			}
+			senderNow := s.Engine().Now()
+			bound := senderNow + lookahead
+			at := bound + Time(rngs[src].Intn(30))
+			d := par.Shard(dst)
+			s.Post(ShardID(dst), at, func() {
+				if got := d.Engine().Now(); got < bound {
+					violations.Add(1)
+					t.Errorf("shard %d observed event at %v, before sender clock %v + lookahead %v",
+						dst, got, senderNow, lookahead)
+				}
+				spawn(dst, depth+1)()
+			})
+		}
+	}
+	for i := 0; i < shards; i++ {
+		par.Shard(i).Engine().Schedule(Time(i*7+1), spawn(i, 0))
+	}
+	par.Run(shards)
+	if n := violations.Load(); n > 0 {
+		t.Fatalf("%d lookahead violations", n)
+	}
+	if par.Fired() == 0 {
+		t.Fatal("property test fired no events")
+	}
+}
+
+// TestParallelLookaheadPanics pins the conservative contract's
+// enforcement: posting earlier than clock+lookahead, posting on an
+// undeclared channel, and declaring a non-positive lookahead all panic.
+func TestParallelLookaheadPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	par := NewParallel(2)
+	par.Connect(0, 1, 100)
+	s := par.Shard(0)
+	mustPanic("early post", func() {
+		s.Engine().Schedule(0, func() { s.Post(1, s.Engine().Now()+99, func() {}) })
+		par.Run(1)
+	})
+
+	par2 := NewParallel(2)
+	s2 := par2.Shard(0)
+	mustPanic("undeclared channel", func() {
+		s2.Engine().Schedule(0, func() { s2.Post(1, 10, func() {}) })
+		par2.Run(1)
+	})
+	mustPanic("non-positive lookahead", func() { NewParallel(2).Connect(0, 1, 0) })
+	mustPanic("self channel", func() { NewParallel(2).Connect(1, 1, 5) })
+	mustPanic("zero shards", func() { NewParallel(0) })
+}
+
+// TestParallelReactivation checks that a shard whose queue drained is
+// woken again by a later cross-shard arrival rather than being treated
+// as permanently done.
+func TestParallelReactivation(t *testing.T) {
+	par := NewParallel(2)
+	par.Connect(0, 1, 50)
+	got := Time(Never)
+	// Shard 1 starts empty; it must still receive and run this.
+	src := par.Shard(0)
+	src.Engine().Schedule(10, func() {
+		src.Post(1, src.Engine().Now()+60, func() {
+			got = par.Shard(1).Engine().Now()
+		})
+	})
+	par.Run(2)
+	if got != 70 {
+		t.Fatalf("cross-shard event ran at %v, want 70", got)
+	}
+}
+
+// TestParallelSameShardPost checks that posts addressed to the sender's
+// own shard behave as ordinary local scheduling (no lookahead needed).
+func TestParallelSameShardPost(t *testing.T) {
+	par := NewParallel(2)
+	ran := false
+	s := par.Shard(0)
+	s.Engine().Schedule(5, func() {
+		s.Post(0, s.Engine().Now(), func() { ran = true })
+	})
+	par.Run(2)
+	if !ran {
+		t.Fatal("same-shard post did not run")
+	}
+}
+
+// TestParallelPostArg exercises the bound-argument posting path.
+func TestParallelPostArg(t *testing.T) {
+	par := NewParallel(2)
+	par.Connect(0, 1, 10)
+	var got any
+	s := par.Shard(0)
+	s.Engine().Schedule(1, func() {
+		s.PostArg(1, s.Engine().Now()+10, func(a any) { got = a }, 42)
+	})
+	par.Run(2)
+	if got != 42 {
+		t.Fatalf("PostArg delivered %v, want 42", got)
+	}
+}
+
+// TestParallelFreeRun covers the no-channel degenerate case: shards
+// with no declared channels run to completion in one window each.
+func TestParallelFreeRun(t *testing.T) {
+	par := NewParallel(3)
+	counts := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		var fn Handler
+		n := 0
+		s := par.Shard(i)
+		fn = func() {
+			counts[i]++
+			if n++; n < 100 {
+				s.Engine().Schedule(Time(i+1), fn)
+			}
+		}
+		s.Engine().Schedule(1, fn)
+	}
+	par.Run(3)
+	for i, c := range counts {
+		if c != 100 {
+			t.Fatalf("shard %d ran %d events, want 100", i, c)
+		}
+	}
+	if par.Windows() != 1 {
+		t.Fatalf("free-run took %d windows, want 1", par.Windows())
+	}
+}
+
+// TestPeekTime pins the helper the coordinator relies on.
+func TestPeekTime(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.PeekTime(); ok {
+		t.Fatal("empty engine reported a pending time")
+	}
+	e.Schedule(30, func() {})
+	if at, ok := e.PeekTime(); !ok || at != 30 {
+		t.Fatalf("PeekTime = %v,%v, want 30,true", at, ok)
+	}
+	e.Schedule(10, func() {})
+	if at, _ := e.PeekTime(); at != 10 {
+		t.Fatalf("PeekTime = %v, want 10", at)
+	}
+	// Lane events pin the peek at Now.
+	e.RunUntil(10)
+	e.Schedule(0, func() {})
+	if at, _ := e.PeekTime(); at != 10 {
+		t.Fatalf("lane PeekTime = %v, want 10", at)
+	}
+}
+
+// TestWatchdogShard pins the shard-aware reporting surface: default
+// NoShard/Never, and after a trip the shard ID and local trip time.
+func TestWatchdogShard(t *testing.T) {
+	eng := NewEngine()
+	w := NewWatchdog(eng, 100, 3, func() uint64 { return 0 }, func() bool { return true })
+	if w.Shard() != NoShard {
+		t.Fatalf("default shard = %d, want NoShard", w.Shard())
+	}
+	if w.TrippedAt() != Never {
+		t.Fatalf("default TrippedAt = %v, want Never", w.TrippedAt())
+	}
+	w.SetShard(5)
+	w.Arm()
+	// Keep the engine busy so the watchdog can tick: idle filler events.
+	for i := Time(1); i <= 10; i++ {
+		eng.Schedule(i*100, func() {})
+	}
+	eng.Run()
+	if !w.Tripped() {
+		t.Fatal("watchdog did not trip")
+	}
+	if w.Shard() != 5 {
+		t.Fatalf("Shard = %d, want 5", w.Shard())
+	}
+	if w.TrippedAt() != 300 {
+		t.Fatalf("TrippedAt = %v, want 300", w.TrippedAt())
+	}
+}

@@ -1,0 +1,122 @@
+package topology
+
+import (
+	"fmt"
+
+	"memnet/internal/packet"
+)
+
+// Partition divides a built graph into k contiguous regions for the
+// partitioned parallel engine: each region is a candidate shard, and
+// the edges crossing regions are the shard boundaries whose SerDes
+// latency becomes the conservative lookahead. Cubes are split by their
+// host-proximity order (Node.Pos), so a region is a contiguous run of
+// the chain/ring/tree layout rather than an arbitrary scatter — that
+// keeps the cut small on every paper topology, since their edges
+// overwhelmingly connect position-adjacent cubes.
+type Partition struct {
+	g     *Graph
+	k     int
+	shard []int // indexed by NodeID
+	cuts  [][]BoundaryEdge
+}
+
+// BoundaryEdge is one cut edge as seen from a particular region: Local
+// is the endpoint inside the viewing region, Remote the endpoint in the
+// other one. Every physical cut edge appears in exactly two Cut views,
+// mirrored.
+type BoundaryEdge struct {
+	// Edge indexes Graph.Edges.
+	Edge int
+	// Local and Remote are the endpoints on this and the far side.
+	Local, Remote packet.NodeID
+	// LocalRegion and RemoteRegion are the region indices of the two
+	// endpoints (LocalRegion is the region whose Cut produced the view).
+	LocalRegion, RemoteRegion int
+}
+
+// PartitionRegions splits g into k regions. Cubes are assigned by
+// position order into k balanced contiguous ranges; the host joins
+// region 0 (it injects at the network root); a MetaCube interface chip
+// joins the region of its lowest-position adjacent cube, so an
+// interposer cluster never straddles a boundary. k must be in
+// [1, number of cubes].
+func PartitionRegions(g *Graph, k int) (*Partition, error) {
+	cubes := g.CubeIDs()
+	if k < 1 || k > len(cubes) {
+		return nil, fmt.Errorf("topology: partition count %d outside [1, %d cubes]", k, len(cubes))
+	}
+	p := &Partition{g: g, k: k, shard: make([]int, len(g.Nodes))}
+	for i := range p.shard {
+		p.shard[i] = -1
+	}
+	p.shard[packet.HostNode] = 0
+	for i, id := range cubes {
+		p.shard[id] = i * k / len(cubes)
+	}
+	// Interface chips: region of the lowest-Pos adjacent cube; any
+	// still-unassigned node (an iface ringed only by ifaces) inherits
+	// from an assigned neighbor on a later sweep. The graph is
+	// connected, so this terminates.
+	for {
+		assigned := 0
+		remaining := 0
+		for _, n := range g.Nodes {
+			if p.shard[n.ID] >= 0 {
+				continue
+			}
+			best := -1
+			bestPos := -1
+			for port := 0; port < g.Degree(n.ID); port++ {
+				nb := g.Neighbor(n.ID, port)
+				if p.shard[nb] < 0 {
+					continue
+				}
+				pos := g.Nodes[nb].Pos
+				if g.Nodes[nb].Kind == Cube && (bestPos < 0 || pos < bestPos) {
+					best, bestPos = p.shard[nb], pos
+				} else if best < 0 {
+					best = p.shard[nb]
+				}
+			}
+			if best >= 0 {
+				p.shard[n.ID] = best
+				assigned++
+			} else {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		if assigned == 0 {
+			return nil, fmt.Errorf("topology: partition: %d nodes unreachable from any assigned region", remaining)
+		}
+	}
+
+	p.cuts = make([][]BoundaryEdge, k)
+	for ei, e := range g.Edges {
+		sa, sb := p.shard[e.A], p.shard[e.B]
+		if sa == sb {
+			continue
+		}
+		p.cuts[sa] = append(p.cuts[sa], BoundaryEdge{
+			Edge: ei, Local: e.A, Remote: e.B, LocalRegion: sa, RemoteRegion: sb,
+		})
+		p.cuts[sb] = append(p.cuts[sb], BoundaryEdge{
+			Edge: ei, Local: e.B, Remote: e.A, LocalRegion: sb, RemoteRegion: sa,
+		})
+	}
+	return p, nil
+}
+
+// NumRegions reports the region count k.
+func (p *Partition) NumRegions() int { return p.k }
+
+// RegionOf reports the region of node n.
+func (p *Partition) RegionOf(n packet.NodeID) int { return p.shard[n] }
+
+// Cut returns region s's view of the boundary: one entry per cut edge
+// with an endpoint in s, Local on s's side. The slice is ordered by
+// edge index and must not be mutated.
+func (p *Partition) Cut(s int) []BoundaryEdge { return p.cuts[s] }

@@ -1,0 +1,149 @@
+package topology
+
+import (
+	"testing"
+)
+
+// TestPartitionCoversEveryNodeOnce checks the partitioner's core
+// invariant across every topology family and several region counts:
+// each node — cube, host, interface chip — lands in exactly one region
+// in [0, k), cubes are balanced within one of each other, and region
+// ranges are contiguous in position order.
+func TestPartitionCoversEveryNodeOnce(t *testing.T) {
+	for _, kind := range AllKinds {
+		for _, k := range []int{1, 2, 3, 5} {
+			g := build(t, kind, dram(16))
+			p, err := PartitionRegions(g, k)
+			if err != nil {
+				t.Fatalf("%v k=%d: %v", kind, k, err)
+			}
+			counts := make([]int, k)
+			for _, n := range g.Nodes {
+				r := p.RegionOf(n.ID)
+				if r < 0 || r >= k {
+					t.Fatalf("%v k=%d: node %d in region %d outside [0,%d)", kind, k, n.ID, r, k)
+				}
+				if n.Kind == Cube {
+					counts[r]++
+				}
+			}
+			min, max := counts[0], counts[0]
+			for _, c := range counts[1:] {
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			if min == 0 || max-min > 1 {
+				t.Errorf("%v k=%d: unbalanced cube counts %v", kind, k, counts)
+			}
+			// Contiguity: region index is non-decreasing in position order.
+			prev := 0
+			for _, id := range g.CubeIDs() {
+				r := p.RegionOf(id)
+				if r < prev {
+					t.Fatalf("%v k=%d: cube %d in region %d after region %d (not contiguous)", kind, k, id, r, prev)
+				}
+				prev = r
+			}
+			if p.RegionOf(0) != 0 {
+				t.Errorf("%v k=%d: host in region %d, want 0", kind, k, p.RegionOf(0))
+			}
+		}
+	}
+}
+
+// TestPartitionCutSymmetry checks boundary enumeration: every cut edge
+// appears in exactly the two views of its endpoint regions, mirrored
+// (Local/Remote and LocalRegion/RemoteRegion swapped), and no
+// same-region edge leaks into any cut.
+func TestPartitionCutSymmetry(t *testing.T) {
+	for _, kind := range AllKinds {
+		for _, k := range []int{2, 3, 5} {
+			g := build(t, kind, dram(16))
+			p, err := PartitionRegions(g, k)
+			if err != nil {
+				t.Fatalf("%v k=%d: %v", kind, k, err)
+			}
+			// views[edge] counts appearances across all cuts.
+			views := map[int][]BoundaryEdge{}
+			for s := 0; s < k; s++ {
+				for _, be := range p.Cut(s) {
+					if be.LocalRegion != s {
+						t.Fatalf("%v k=%d: Cut(%d) entry claims region %d", kind, k, s, be.LocalRegion)
+					}
+					if p.RegionOf(be.Local) != s || p.RegionOf(be.Remote) != be.RemoteRegion {
+						t.Fatalf("%v k=%d: cut entry %+v disagrees with RegionOf", kind, k, be)
+					}
+					views[be.Edge] = append(views[be.Edge], be)
+				}
+			}
+			for ei, e := range g.Edges {
+				sa, sb := p.RegionOf(e.A), p.RegionOf(e.B)
+				vs := views[ei]
+				if sa == sb {
+					if len(vs) != 0 {
+						t.Errorf("%v k=%d: intra-region edge %d appears in a cut", kind, k, ei)
+					}
+					continue
+				}
+				if len(vs) != 2 {
+					t.Fatalf("%v k=%d: cut edge %d appears %d times, want 2", kind, k, ei, len(vs))
+				}
+				a, b := vs[0], vs[1]
+				mirrored := a.Local == b.Remote && a.Remote == b.Local &&
+					a.LocalRegion == b.RemoteRegion && a.RemoteRegion == b.LocalRegion
+				if !mirrored {
+					t.Errorf("%v k=%d: cut edge %d views not mirrored: %+v vs %+v", kind, k, ei, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionMetaCubeClustersIntact checks that interface chips join
+// a cube region (never a region with no adjacent cube) so an interposer
+// cluster's internal traces stay off the cut.
+func TestPartitionMetaCubeClustersIntact(t *testing.T) {
+	g := build(t, MetaCube, dram(16))
+	p, err := PartitionRegions(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Nodes {
+		if n.Kind != Iface {
+			continue
+		}
+		r := p.RegionOf(n.ID)
+		adjacent := false
+		for port := 0; port < g.Degree(n.ID); port++ {
+			nb := g.Neighbor(n.ID, port)
+			if g.Nodes[nb].Kind == Cube && p.RegionOf(nb) == r {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			t.Errorf("iface %d in region %d with no same-region adjacent cube", n.ID, r)
+		}
+	}
+}
+
+// TestPartitionBadCounts pins the argument validation.
+func TestPartitionBadCounts(t *testing.T) {
+	g := build(t, Ring, dram(8))
+	if _, err := PartitionRegions(g, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := PartitionRegions(g, 9); err == nil {
+		t.Error("k > cubes accepted")
+	}
+	if p, err := PartitionRegions(g, 1); err != nil || len(p.Cut(0)) != 0 {
+		t.Errorf("k=1 should have an empty cut (err=%v)", err)
+	}
+	if p, _ := PartitionRegions(g, 2); p.NumRegions() != 2 {
+		t.Error("NumRegions")
+	}
+}

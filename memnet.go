@@ -232,6 +232,11 @@ type Config struct {
 	Telemetry *TelemetryConfig
 	// Tuning overrides the microarchitectural tuning (nil = defaults).
 	Tuning *Tuning
+	// Shards sets the worker-goroutine count for RunMachine's
+	// partitioned engine (clamped to [1, System.Ports]). Results are
+	// bit-identical at every value; 1 is the sequential fallback. Run
+	// and Build ignore it — a single port's network is one partition.
+	Shards int
 }
 
 // DefaultConfig returns an all-DRAM tree network running KMEANS.
@@ -319,6 +324,25 @@ func Run(c Config) (Results, error) {
 		return Results{}, err
 	}
 	return core.Simulate(p)
+}
+
+// MachineResults aggregates a whole-machine run; see core.MachineResults.
+type MachineResults = core.MachineResults
+
+// RunMachine simulates the whole machine — one memory network per host
+// port (System.Ports of them, the paper's §2.3 partitioning) — on the
+// partitioned parallel engine, using Config.Shards worker goroutines.
+// Per-port workload seeds are derived from Config.Seed (port 0 keeps
+// it, so PerPort[0] equals Run of the same Config). Results are
+// bit-identical for every Shards value. Record, TraceDepth, and
+// Telemetry are rejected: their outputs have no defined cross-port
+// merge yet.
+func RunMachine(c Config) (MachineResults, error) {
+	p, err := c.params()
+	if err != nil {
+		return MachineResults{}, err
+	}
+	return core.RunMachine(core.MachineParams{Base: p, Shards: c.Shards})
 }
 
 // RunCached is Run backed by the persistent content-addressed result

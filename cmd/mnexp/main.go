@@ -37,7 +37,7 @@ import (
 func main() {
 	var (
 		expFlag = flag.String("exp", "all",
-			"comma-separated: table1,table2,fig4,fig5,fig7,fig10,fig11,fig12,fig13,fig14,fig15,mesh,resilience or all")
+			"comma-separated: table1,table2,fig4,fig5,fig7,fig10,fig11,fig12,fig13,fig14,fig15,mesh,resilience,chaos or all")
 		quick    = flag.Bool("quick", false, "reduced trace length for a fast pass")
 		txns     = flag.Uint64("txns", 0, "override transactions per run")
 		seed     = flag.Uint64("seed", 1, "workload seed")

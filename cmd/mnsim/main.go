@@ -42,6 +42,10 @@ func main() {
 		killCube  = flag.String("kill-cube", "", "kill cubes mid-run: N@T[!] (…!: router too), e.g. 4@1us,5@2us!")
 		killLink  = flag.String("kill-link-at", "", "sever links mid-run: EDGE@T, e.g. 2@1us")
 		failLanes = flag.String("fail-lanes-at", "", "halve link bandwidth mid-run: EDGE@T, e.g. 0@500ns")
+		repCube   = flag.String("repair-cube-at", "", "repair killed cubes mid-run: N@T, e.g. 4@3us")
+		repLink   = flag.String("repair-link-at", "", "repair severed links mid-run (retrains, then routes back): EDGE@T, e.g. 2@3us")
+		flapLanes = flag.String("flap-lanes", "", "transient lane flaps (bandwidth halves, then rebinds): EDGE@DOWN:UP, e.g. 0@500ns:2us")
+		retrainW  = flag.Duration("retrain-window", 0, "link retraining window between repair and traffic (default 200ns)")
 		recordTo  = flag.String("record-trace", "", "write the generated transaction trace to this file")
 		replayFrm = flag.String("replay-trace", "", "drive the run from a recorded trace file")
 		traceN    = flag.Int("trace", 0, "print the last N packet lifecycle events")
@@ -95,7 +99,8 @@ func main() {
 	if *failLink >= 0 {
 		cfg.FailLinks = []int{*failLink}
 	}
-	cfg.Fault, err = parseFault(*faultSeed, *linkBER, *maxRetry, *killCube, *killLink, *failLanes)
+	cfg.Fault, err = parseFault(*faultSeed, *linkBER, *maxRetry, *killCube, *killLink, *failLanes,
+		*repCube, *repLink, *flapLanes, *retrainW)
 	check(err)
 	if *recordTo != "" {
 		cfg.Record = true
@@ -162,6 +167,10 @@ func main() {
 			f.CRCErrors, f.Retries, f.Dropped, f.Rerouted, f.Bounced, f.Rehomed)
 		fmt.Fprintf(status, "              lane-fails=%d links-killed=%d cubes-killed=%d\n",
 			f.LaneFails, f.LinksKilled, f.CubesKilled)
+		if f.LinksRepaired+f.CubesRepaired+f.LaneRepairs > 0 {
+			fmt.Fprintf(status, "              repaired links=%d cubes=%d lanes=%d, healed traffic %.2f Mbit\n",
+				f.LinksRepaired, f.CubesRepaired, f.LaneRepairs, float64(f.HealedBits)/1e6)
+		}
 	}
 	if *recordTo != "" {
 		f, err := os.Create(*recordTo)
@@ -246,8 +255,12 @@ func parseArb(s string) (memnet.Arbitration, error) {
 
 // parseFault assembles the fault configuration from the CLI knobs, or
 // returns nil when none is set.
-func parseFault(seed uint64, ber float64, maxRetries int, cubes, links, lanes string) (*memnet.FaultConfig, error) {
-	fc := &memnet.FaultConfig{Seed: seed, LinkBER: ber, MaxRetries: maxRetries}
+func parseFault(seed uint64, ber float64, maxRetries int, cubes, links, lanes string,
+	repCubes, repLinks, flaps string, retrain time.Duration) (*memnet.FaultConfig, error) {
+	fc := &memnet.FaultConfig{
+		Seed: seed, LinkBER: ber, MaxRetries: maxRetries,
+		RetrainWindow: memnet.Time(retrain.Nanoseconds()) * memnet.Nanosecond,
+	}
 	for _, spec := range splitSpecs(cubes) {
 		full := strings.HasSuffix(spec, "!")
 		n, at, err := parseAt(strings.TrimSuffix(spec, "!"))
@@ -269,6 +282,27 @@ func parseFault(seed uint64, ber float64, maxRetries int, cubes, links, lanes st
 			return nil, fmt.Errorf("-fail-lanes-at %q: %w", spec, err)
 		}
 		fc.LaneFails = append(fc.LaneFails, memnet.LaneFail{Edge: e, At: at})
+	}
+	for _, spec := range splitSpecs(repCubes) {
+		n, at, err := parseAt(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-repair-cube-at %q: %w", spec, err)
+		}
+		fc.RepairCubes = append(fc.RepairCubes, memnet.CubeRepair{Node: memnet.NodeID(n), At: at})
+	}
+	for _, spec := range splitSpecs(repLinks) {
+		e, at, err := parseAt(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-repair-link-at %q: %w", spec, err)
+		}
+		fc.RepairLinks = append(fc.RepairLinks, memnet.LinkRepair{Edge: e, At: at})
+	}
+	for _, spec := range splitSpecs(flaps) {
+		e, down, up, err := parseWindow(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-flap-lanes %q: %w", spec, err)
+		}
+		fc.LaneFlaps = append(fc.LaneFlaps, memnet.LaneFlap{Edge: e, Down: down, Up: up})
 	}
 	if !fc.Enabled() && seed == 0 {
 		return nil, nil
@@ -304,6 +338,32 @@ func parseAt(spec string) (int, memnet.Time, error) {
 		return 0, 0, err
 	}
 	return n, memnet.Time(d.Nanoseconds()) * memnet.Nanosecond, nil
+}
+
+// parseWindow parses an "INDEX@DOWN:UP" flap spec, e.g. "0@500ns:2us".
+func parseWindow(spec string) (int, memnet.Time, memnet.Time, error) {
+	idx, at, ok := strings.Cut(spec, "@")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("want EDGE@DOWN:UP (e.g. 0@500ns:2us)")
+	}
+	n, err := strconv.Atoi(idx)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	downStr, upStr, ok := strings.Cut(at, ":")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("want EDGE@DOWN:UP (e.g. 0@500ns:2us)")
+	}
+	down, err := time.ParseDuration(downStr)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	up, err := time.ParseDuration(upStr)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return n, memnet.Time(down.Nanoseconds()) * memnet.Nanosecond,
+		memnet.Time(up.Nanoseconds()) * memnet.Nanosecond, nil
 }
 
 func check(err error) {

@@ -34,7 +34,7 @@ import (
 // same configuration. The fingerprint coverage test
 // (TestFingerprintCoverage) forces a review of this constant whenever a
 // fingerprinted configuration struct changes shape.
-const CacheSchema = "memnet/result-cache/v1"
+const CacheSchema = "memnet/result-cache/v2"
 
 // Fingerprint is the content address of one simulation run: an FNV-1a
 // hash of the canonical encoding of everything that determines its
@@ -172,6 +172,19 @@ func hashFault(h fnv.Hash, f *fault.Config) fnv.Hash {
 	for _, k := range f.LaneFails {
 		h = h.Int(k.Edge).I64(int64(k.At))
 	}
+	h = h.Str("repairlinks").Int(len(f.RepairLinks))
+	for _, r := range f.RepairLinks {
+		h = h.Int(r.Edge).I64(int64(r.At))
+	}
+	h = h.Str("repaircubes").Int(len(f.RepairCubes))
+	for _, r := range f.RepairCubes {
+		h = h.U64(uint64(r.Node)).I64(int64(r.At))
+	}
+	h = h.Str("laneflaps").Int(len(f.LaneFlaps))
+	for _, fl := range f.LaneFlaps {
+		h = h.Int(fl.Edge).I64(int64(fl.Down)).I64(int64(fl.Up))
+	}
+	h = h.I64(int64(f.RetrainWindow))
 	h = h.Bool(f.Watchdog).I64(int64(f.WatchdogInterval)).Int(f.WatchdogStale)
 	return h
 }

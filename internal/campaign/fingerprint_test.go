@@ -62,6 +62,18 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"fault-kill": func(p *core.Params) {
 			p.Fault = &fault.Config{KillCubes: []fault.CubeKill{{Node: 3, At: sim.Microsecond}}}
 		},
+		"fault-repair": func(p *core.Params) {
+			p.Fault = &fault.Config{
+				KillCubes:   []fault.CubeKill{{Node: 3, At: sim.Microsecond}},
+				RepairCubes: []fault.CubeRepair{{Node: 3, At: 2 * sim.Microsecond}},
+			}
+		},
+		"fault-flap": func(p *core.Params) {
+			p.Fault = &fault.Config{LaneFlaps: []fault.LaneFlap{{Edge: 1, Down: sim.Microsecond, Up: 2 * sim.Microsecond}}}
+		},
+		"fault-retrain": func(p *core.Params) {
+			p.Fault = &fault.Config{RetrainWindow: sim.Microsecond}
+		},
 	}
 	got := map[Fingerprint]string{base: "base"}
 	for name, mut := range mutations {
@@ -145,12 +157,16 @@ func TestFingerprintCoverage(t *testing.T) {
 		}},
 		{fault.Config{}, []string{
 			"Seed", "LinkBER", "MaxRetries", "RetryBackoff", "KillLinks",
-			"KillCubes", "LaneFails", "Watchdog", "WatchdogInterval",
+			"KillCubes", "LaneFails", "RepairLinks", "RepairCubes",
+			"LaneFlaps", "RetrainWindow", "Watchdog", "WatchdogInterval",
 			"WatchdogStale",
 		}},
 		{fault.LinkKill{}, []string{"Edge", "At"}},
 		{fault.CubeKill{}, []string{"Node", "At", "Full"}},
 		{fault.LaneFail{}, []string{"Edge", "At"}},
+		{fault.LinkRepair{}, []string{"Edge", "At"}},
+		{fault.CubeRepair{}, []string{"Node", "At"}},
+		{fault.LaneFlap{}, []string{"Edge", "Down", "Up"}},
 	}
 	for _, pin := range pinned {
 		rt := reflect.TypeOf(pin.v)

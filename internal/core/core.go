@@ -632,6 +632,16 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 	if faultOn {
 		for i, ev := range inst.planEvents {
 			i := i
+			if ev.Kind == fault.EvRepairLink {
+				// The retraining window opens at the repair instant; the
+				// route-back and credit re-arm fire at ev.At when it
+				// closes (applyFault's EvRepairLink arm).
+				edge := ev.Edge
+				eng.At(ev.Start, func() {
+					inst.dirs[edge].ab.BeginRetrain()
+					inst.dirs[edge].ba.BeginRetrain()
+				})
+			}
 			eng.At(ev.At, func() { inst.applyFault(i) })
 		}
 		inst.Watchdog = sim.NewWatchdog(eng,
@@ -653,25 +663,32 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 	return inst, nil
 }
 
-// planFaults validates the scheduled faults against the built topology
-// and precomputes, per event, the degraded routing graph and (for cube
-// kills) the re-home spare. Walks the schedule in time order carrying
-// the cumulative dead set, exactly as applyFault will at runtime.
+// planFaults validates the scheduled faults and repairs against the
+// built topology and precomputes, per event, the routing graph in
+// force after it and (for cube kills) the re-home spare. Walks the
+// schedule in time order carrying the cumulative dead set, exactly as
+// applyFault will at runtime — a link repair's slot in the walk is its
+// effective link-up instant (retraining end), so the cumulative order
+// here equals the order routing actually changes mid-run.
 func (in *Instance) planFaults() error {
-	evs := in.faultCfg.Schedule()
+	evs, err := in.faultCfg.Build()
+	if err != nil {
+		return err
+	}
 	in.planEvents = evs
 	in.planGraphs = make([]*topology.Graph, len(evs))
 	in.planSpares = make([]packet.NodeID, len(evs))
 
 	cur := in.Graph
 	deadCubes := make(map[packet.NodeID]bool)
+	fullDead := make(map[packet.NodeID]bool)
 	for i, ev := range evs {
 		switch ev.Kind {
-		case fault.EvLaneFail:
+		case fault.EvLaneFail, fault.EvLaneRepair:
 			if ev.Edge >= len(in.Graph.Edges) {
-				return fmt.Errorf("core: lane failure on nonexistent edge %d", ev.Edge)
+				return fmt.Errorf("core: lane fault on nonexistent edge %d", ev.Edge)
 			}
-			// Bandwidth halves; routing is untouched.
+			// Bandwidth changes; routing is untouched.
 		case fault.EvKillLink:
 			if ev.Edge >= len(in.Graph.Edges) {
 				return fmt.Errorf("core: kill of nonexistent edge %d", ev.Edge)
@@ -681,6 +698,15 @@ func (in *Instance) planFaults() error {
 				e := in.Graph.Edges[ev.Edge]
 				return fmt.Errorf("core: killing link %d (%d-%d) at %v: %w",
 					ev.Edge, e.A, e.B, ev.At, err)
+			}
+			cur, in.planGraphs[i] = ng, ng
+		case fault.EvRepairLink:
+			if ev.Edge >= len(in.Graph.Edges) {
+				return fmt.Errorf("core: repair of nonexistent edge %d", ev.Edge)
+			}
+			ng, err := cur.Enable([]int{ev.Edge}, nil)
+			if err != nil {
+				return fmt.Errorf("core: repairing link %d at %v: %w", ev.Edge, ev.At, err)
 			}
 			cur, in.planGraphs[i] = ng, ng
 		case fault.EvKillCube:
@@ -701,6 +727,7 @@ func (in *Instance) planFaults() error {
 						ev.Node, ev.At, err)
 				}
 				cur, in.planGraphs[i] = ng, ng
+				fullDead[ev.Node] = true
 			}
 			deadCubes[ev.Node] = true
 			spare, err := nearestSurvivor(cur, ev.Node, deadCubes)
@@ -708,6 +735,22 @@ func (in *Instance) planFaults() error {
 				return fmt.Errorf("core: killing cube %d at %v: %w", ev.Node, ev.At, err)
 			}
 			in.planSpares[i] = spare
+		case fault.EvRepairCube:
+			if !deadCubes[ev.Node] {
+				return fmt.Errorf("core: repair of cube %d at %v, which is not dead", ev.Node, ev.At)
+			}
+			if fullDead[ev.Node] {
+				ng, err := cur.Enable(nil, []packet.NodeID{ev.Node})
+				if err != nil {
+					return fmt.Errorf("core: repairing cube %d at %v: %w", ev.Node, ev.At, err)
+				}
+				cur, in.planGraphs[i] = ng, ng
+				delete(fullDead, ev.Node)
+			}
+			// The cube is a kill candidate and a re-home target again;
+			// victims re-homed elsewhere keep their existing spares
+			// (repair restores only this cube's own address range).
+			delete(deadCubes, ev.Node)
 		}
 	}
 	return nil
@@ -736,10 +779,10 @@ func nearestSurvivor(g *topology.Graph, victim packet.NodeID, dead map[packet.No
 	return best, nil
 }
 
-// applyFault fires scheduled fault i at its simulated time: swap in the
-// precomputed route tables, kill or degrade the hardware, update the
-// re-home map, and kick every router so stranded heads re-arbitrate
-// under the new tables.
+// applyFault fires scheduled fault or repair i at its simulated time:
+// swap in the precomputed route tables, kill, degrade, or restore the
+// hardware, update the re-home map, and kick every router so stranded
+// heads re-arbitrate under the new tables.
 func (in *Instance) applyFault(i int) {
 	ev := in.planEvents[i]
 	switch ev.Kind {
@@ -748,6 +791,26 @@ func (in *Instance) applyFault(i int) {
 		in.dirs[ev.Edge].ba.Downbind()
 		in.fc.LaneFails++
 		return // no routing change, no kicks needed
+	case fault.EvLaneRepair:
+		in.dirs[ev.Edge].ab.Rebind()
+		in.dirs[ev.Edge].ba.Rebind()
+		in.fc.LaneRepairs++
+		return // bandwidth-only, like the flap down
+	case fault.EvRepairLink:
+		// Routes swap back first, so the retrained directions' space
+		// callbacks and the kicks below route onto the healed edge.
+		in.live = in.planGraphs[i]
+		in.dirs[ev.Edge].ab.CompleteRetrain()
+		in.dirs[ev.Edge].ba.CompleteRetrain()
+		in.fc.LinksRepaired++
+	case fault.EvRepairCube:
+		if g := in.planGraphs[i]; g != nil {
+			in.live = g
+		}
+		// New injections target the repaired cube again; packets
+		// already bounced to the spare complete there.
+		delete(in.rehome, ev.Node)
+		in.fc.CubesRepaired++
 	case fault.EvKillLink:
 		in.live = in.planGraphs[i]
 		e := in.Graph.Edges[ev.Edge]
@@ -906,6 +969,7 @@ func (in *Instance) FaultCounters() stats.FaultCounters {
 			fc.CRCErrors += s.CRCErrors
 			fc.Retries += s.Retries
 			fc.Dropped += s.Dropped
+			fc.HealedBits += dir.HealedBits()
 		}
 	}
 	for _, n := range in.Graph.Nodes {

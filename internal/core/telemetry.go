@@ -170,8 +170,41 @@ func buildTelemetry(in *Instance, cfg *obs.Config) {
 				}
 				return 0
 			})
+			reg.Gauge(prefix+".state", func() int64 {
+				return int64(d.State()) // 0 up, 1 down, 2 retraining
+			})
+			reg.Gauge(prefix+".healed_bits", func() int64 {
+				return int64(d.HealedBits())
+			})
 		}
 	}
+
+	// Fabric availability: how much of the network is out of service or
+	// recovering right now, and how much traffic has re-homed. The
+	// probes read the same state the fault layer mutates, so the series
+	// shows each outage opening and closing.
+	dirs := in.dirs
+	reg.Gauge("fault.links_down", func() int64 {
+		var n int64
+		for _, d := range dirs {
+			if d.ab.State() == link.Down || d.ba.State() == link.Down {
+				n++
+			}
+		}
+		return n
+	})
+	reg.Gauge("fault.links_retraining", func() int64 {
+		var n int64
+		for _, d := range dirs {
+			if d.ab.State() == link.Retraining || d.ba.State() == link.Retraining {
+				n++
+			}
+		}
+		return n
+	})
+	reg.Gauge("fault.cubes_rehomed", func() int64 {
+		return int64(len(in.rehome))
+	})
 
 	t.Sampler = reg.StartSampler(eng, cfg.Interval())
 	in.Telemetry = t

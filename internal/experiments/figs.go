@@ -357,6 +357,7 @@ func (r *Runner) Figures() []Figure {
 		{"fig15", r.Fig15},
 		{"mesh", r.ExtMesh},
 		{"resilience", r.Resilience},
+		{"chaos", r.Chaos},
 	}
 }
 

@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"fmt"
+
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+)
+
+// ChaosSpec parameterizes a generated kill/repair/flap schedule. The
+// counts are maxima: a topology without enough survivable candidates
+// (a chain has no severable edge; a MetaCube has few) gets fewer
+// events, never an unsurvivable one.
+type ChaosSpec struct {
+	// Seed drives target and jitter selection; the same seed against
+	// the same graph yields the same schedule.
+	Seed uint64
+	// Horizon is the window the schedule spreads across; events land in
+	// disjoint slots inside it, every outage repaired before the next
+	// fault lands.
+	Horizon sim.Time
+	// LinkKills, CubeKills, and LaneFlaps are the number of
+	// kill-then-repair cycles (or down/up flap windows) to schedule.
+	LinkKills, CubeKills, LaneFlaps int
+	// LinkBER and MaxRetries pass through to the returned Config.
+	LinkBER    float64
+	MaxRetries int
+}
+
+// Chaos generates a seeded, validated fault/repair schedule against a
+// built topology: every link kill targets an edge whose loss the graph
+// routes around, every cube kill is memory-only (always survivable),
+// every fault is repaired within its own time slot, and the progress
+// watchdog is armed. The outage windows are pairwise disjoint in time,
+// so cumulative survivability reduces to the per-edge check done here
+// and core's Build-time plan validation cannot fail. The schedule is a
+// pure function of (graph, spec).
+func Chaos(g *topology.Graph, spec ChaosSpec) (Config, error) {
+	if spec.Horizon <= 0 {
+		return Config{}, fmt.Errorf("fault: chaos horizon %v must be positive", spec.Horizon)
+	}
+	if spec.LinkKills < 0 || spec.CubeKills < 0 || spec.LaneFlaps < 0 {
+		return Config{}, fmt.Errorf("fault: negative chaos event counts")
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := sim.NewRand(seed + 0x6368616f73) // decorrelate from workload streams
+
+	// Candidate pools, in deterministic edge/node order. Kills need a
+	// survivable edge; flaps need a SerDes edge (interposer traces have
+	// no lanes to flap); cube kills need a survivor left over.
+	var killable []int
+	for ei := range g.Edges {
+		if _, err := g.Disable([]int{ei}, nil); err == nil {
+			killable = append(killable, ei)
+		}
+	}
+	var flappable []int
+	for ei, e := range g.Edges {
+		if !e.Interposer {
+			flappable = append(flappable, ei)
+		}
+	}
+	cubes := g.CubeIDs()
+
+	// Draw distinct targets; an edge serves at most one event across
+	// the whole schedule, so flap windows and kill outages never share
+	// an edge (which Build would reject).
+	taken := make(map[int]bool)
+	drawEdge := func(pool []int) (int, bool) {
+		var free []int
+		for _, ei := range pool {
+			if !taken[ei] {
+				free = append(free, ei)
+			}
+		}
+		if len(free) == 0 {
+			return 0, false
+		}
+		ei := free[rng.Intn(len(free))]
+		taken[ei] = true
+		return ei, true
+	}
+
+	type slot struct {
+		kind EventKind // EvKillLink, EvKillCube, or EvLaneFail (flap)
+		edge int
+		node packet.NodeID
+	}
+	var slots []slot
+	for i := 0; i < spec.LinkKills; i++ {
+		if ei, ok := drawEdge(killable); ok {
+			slots = append(slots, slot{kind: EvKillLink, edge: ei})
+		}
+	}
+	takenCube := make(map[packet.NodeID]bool)
+	for i := 0; i < spec.CubeKills && i < len(cubes)-1; i++ {
+		var free []packet.NodeID
+		for _, id := range cubes {
+			if !takenCube[id] {
+				free = append(free, id)
+			}
+		}
+		node := free[rng.Intn(len(free))]
+		takenCube[node] = true
+		slots = append(slots, slot{kind: EvKillCube, node: node})
+	}
+	for i := 0; i < spec.LaneFlaps; i++ {
+		if ei, ok := drawEdge(flappable); ok {
+			slots = append(slots, slot{kind: EvLaneFail, edge: ei})
+		}
+	}
+
+	cfg := Config{
+		Seed:       seed,
+		LinkBER:    spec.LinkBER,
+		MaxRetries: spec.MaxRetries,
+		Watchdog:   true,
+	}
+	if len(slots) == 0 {
+		return cfg, nil
+	}
+
+	// Fisher-Yates over the slot kinds so fault types interleave across
+	// the horizon instead of clustering by category.
+	for i := len(slots) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		slots[i], slots[j] = slots[j], slots[i]
+	}
+
+	// One slot of length L per event: the outage opens at L/4 and
+	// closes by 5L/8 (plus up to L/8 jitter on each end), leaving room
+	// for a retraining window of at most L/8 before the slot ends.
+	// Disjoint slots mean at most one outage is open at any instant.
+	n := sim.Time(len(slots))
+	slotLen := spec.Horizon / n
+	window := slotLen / 8
+	if window < 1 {
+		return Config{}, fmt.Errorf("fault: chaos horizon %v too short for %d events", spec.Horizon, len(slots))
+	}
+	if window > 200*sim.Nanosecond {
+		window = 200 * sim.Nanosecond
+	}
+	cfg.RetrainWindow = window
+	jitter := func() sim.Time { return sim.Time(rng.Int63n(int64(slotLen/8) + 1)) }
+	for k, s := range slots {
+		base := slotLen * sim.Time(k)
+		down := base + slotLen/4 + jitter()
+		up := down + slotLen/4 + jitter()
+		switch s.kind {
+		case EvKillLink:
+			cfg.KillLinks = append(cfg.KillLinks, LinkKill{Edge: s.edge, At: down})
+			cfg.RepairLinks = append(cfg.RepairLinks, LinkRepair{Edge: s.edge, At: up})
+		case EvKillCube:
+			cfg.KillCubes = append(cfg.KillCubes, CubeKill{Node: s.node, At: down})
+			cfg.RepairCubes = append(cfg.RepairCubes, CubeRepair{Node: s.node, At: up})
+		case EvLaneFail:
+			cfg.LaneFlaps = append(cfg.LaneFlaps, LaneFlap{Edge: s.edge, Down: down, Up: up})
+		}
+	}
+	wd := cfg.WithDefaults()
+	if _, err := wd.Build(); err != nil {
+		return Config{}, fmt.Errorf("fault: chaos generated an invalid schedule: %w", err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"memnet/internal/config"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+)
+
+func chaosGraph(t *testing.T, kind topology.Kind) *topology.Graph {
+	t.Helper()
+	g, err := topology.Build(kind, make([]config.MemTech, 8))
+	if err != nil {
+		t.Fatalf("build %v: %v", kind, err)
+	}
+	return g
+}
+
+func fullSpec() ChaosSpec {
+	return ChaosSpec{
+		Seed: 7, Horizon: 10 * sim.Microsecond,
+		LinkKills: 2, CubeKills: 2, LaneFlaps: 2,
+	}
+}
+
+// TestChaosDeterministic: the schedule is a pure function of
+// (graph, spec) — the campaign fingerprint depends on it.
+func TestChaosDeterministic(t *testing.T) {
+	g := chaosGraph(t, topology.Ring)
+	a, err := Chaos(g, fullSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chaos(g, fullSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different schedules:\n a: %+v\n b: %+v", a, b)
+	}
+	spec := fullSpec()
+	spec.Seed = 8
+	c, err := Chaos(g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestChaosSurvivable: the generator adapts to the topology — a chain
+// (no severable edge) gets zero link kills, a ring gets the requested
+// count, and every generated schedule passes its own Build validation.
+func TestChaosSurvivable(t *testing.T) {
+	for _, tc := range []struct {
+		kind      topology.Kind
+		linkKills int
+	}{
+		{topology.Chain, 0},
+		{topology.Ring, 2},
+	} {
+		g := chaosGraph(t, tc.kind)
+		cfg, err := Chaos(g, fullSpec())
+		if err != nil {
+			t.Fatalf("%v: %v", tc.kind, err)
+		}
+		if len(cfg.KillLinks) != tc.linkKills {
+			t.Errorf("%v: %d link kills, want %d", tc.kind, len(cfg.KillLinks), tc.linkKills)
+		}
+		if len(cfg.RepairLinks) != len(cfg.KillLinks) {
+			t.Errorf("%v: %d kills but %d repairs", tc.kind, len(cfg.KillLinks), len(cfg.RepairLinks))
+		}
+		if len(cfg.KillCubes) != 2 || len(cfg.RepairCubes) != 2 {
+			t.Errorf("%v: cube kills/repairs %d/%d, want 2/2",
+				tc.kind, len(cfg.KillCubes), len(cfg.RepairCubes))
+		}
+		if len(cfg.LaneFlaps) != 2 {
+			t.Errorf("%v: %d flaps, want 2", tc.kind, len(cfg.LaneFlaps))
+		}
+		for _, k := range cfg.KillCubes {
+			if k.Full {
+				t.Errorf("%v: chaos scheduled a Full cube kill %+v", tc.kind, k)
+			}
+		}
+		if !cfg.Watchdog {
+			t.Errorf("%v: watchdog not armed", tc.kind)
+		}
+		wd := cfg.WithDefaults()
+		if _, err := wd.Build(); err != nil {
+			t.Errorf("%v: generated schedule fails Build: %v", tc.kind, err)
+		}
+		// Disjoint outage windows: every event fits inside its own slot.
+		horizon := fullSpec().Horizon
+		for _, r := range cfg.RepairLinks {
+			if r.At+wd.RetrainWindow > horizon {
+				t.Errorf("%v: link repair %+v completes past the horizon", tc.kind, r)
+			}
+		}
+	}
+}
+
+// TestChaosCubeCap: cube kills are capped so at least one cube
+// survives to host re-homed address ranges.
+func TestChaosCubeCap(t *testing.T) {
+	g, err := topology.Build(topology.Chain, make([]config.MemTech, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := fullSpec()
+	spec.CubeKills = 10
+	cfg, err := Chaos(g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cfg.KillCubes); got != 1 {
+		t.Errorf("2-cube chain: %d cube kills, want 1 (one survivor)", got)
+	}
+}
+
+// TestChaosErrors: degenerate specs fail loudly instead of generating
+// an empty or invalid schedule.
+func TestChaosErrors(t *testing.T) {
+	g := chaosGraph(t, topology.Ring)
+	if _, err := Chaos(g, ChaosSpec{Horizon: 0, LinkKills: 1}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Chaos(g, ChaosSpec{Horizon: sim.Microsecond, LinkKills: -1}); err == nil {
+		t.Error("negative event count accepted")
+	}
+	if _, err := Chaos(g, ChaosSpec{Horizon: 10, LinkKills: 2, CubeKills: 2, LaneFlaps: 2}); err == nil {
+		t.Error("horizon too short for the slot layout accepted")
+	}
+}

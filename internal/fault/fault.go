@@ -61,6 +61,37 @@ type LaneFail struct {
 	At   sim.Time
 }
 
+// LinkRepair returns a previously killed edge to service. At is when
+// the physical repair lands and retraining begins; the link re-enters
+// service (and routes swap back to the pre-fault tables) RetrainWindow
+// later. Build rejects a repair of an edge that is not down at At.
+type LinkRepair struct {
+	Edge int
+	At   sim.Time
+}
+
+// CubeRepair returns a previously killed cube to service at a
+// simulated time: its address range re-homes back from the spare, and
+// a Full kill's transit capacity is restored to the route tables. The
+// model repairs placement only — data written to the spare during the
+// outage is not migrated back (the simulator models performance, not
+// contents). Build rejects a repair of a cube that is not dead at At.
+type CubeRepair struct {
+	Node packet.NodeID
+	At   sim.Time
+}
+
+// LaneFlap is a transient lane failure: the edge down-binds to half
+// width at Down and retrains back to full width at Up (the retraining
+// happens under traffic at the degraded width, so Up is the re-bind
+// instant; no extra window applies). Build rejects overlapping flap
+// windows on one edge and flaps mixed with kills or permanent lane
+// failures on the same edge (the width to restore would be ambiguous).
+type LaneFlap struct {
+	Edge     int
+	Down, Up sim.Time
+}
+
 // Config is the complete fault scenario for one run. The zero value
 // injects nothing; Enabled reports whether any knob is set.
 type Config struct {
@@ -89,6 +120,18 @@ type Config struct {
 	KillCubes []CubeKill
 	LaneFails []LaneFail
 
+	// Scheduled repairs and transient flaps. Every repair must match an
+	// earlier kill of the same target; Build validates the full
+	// timeline.
+	RepairLinks []LinkRepair
+	RepairCubes []CubeRepair
+	LaneFlaps   []LaneFlap
+
+	// RetrainWindow is the simulated time a repaired link spends
+	// retraining (down -> retraining -> up) before it carries traffic
+	// again. Zero means the 200 ns default.
+	RetrainWindow sim.Time
+
 	// Watchdog arms the progress watchdog even when no fault is
 	// configured (diagnosing a wedge in a fault-free scenario). The
 	// watchdog is always armed when any fault knob is set.
@@ -109,7 +152,8 @@ func (c *Config) Enabled() bool {
 		return false
 	}
 	return c.LinkBER > 0 || len(c.KillLinks) > 0 || len(c.KillCubes) > 0 ||
-		len(c.LaneFails) > 0 || c.Watchdog
+		len(c.LaneFails) > 0 || len(c.RepairLinks) > 0 ||
+		len(c.RepairCubes) > 0 || len(c.LaneFlaps) > 0 || c.Watchdog
 }
 
 // WithDefaults returns a copy with zero-valued tunables replaced by
@@ -120,6 +164,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 8 * sim.Nanosecond
+	}
+	if c.RetrainWindow == 0 {
+		c.RetrainWindow = 200 * sim.Nanosecond
 	}
 	if c.WatchdogInterval == 0 {
 		c.WatchdogInterval = 50 * sim.Microsecond
@@ -159,6 +206,28 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("fault: invalid lane failure %+v", k)
 		}
 	}
+	for _, r := range c.RepairLinks {
+		if r.At < 0 || r.Edge < 0 {
+			return fmt.Errorf("fault: invalid link repair %+v", r)
+		}
+	}
+	for _, r := range c.RepairCubes {
+		if r.At < 0 || r.Node <= packet.HostNode {
+			return fmt.Errorf("fault: invalid cube repair %+v", r)
+		}
+	}
+	for _, f := range c.LaneFlaps {
+		if f.Down < 0 || f.Edge < 0 {
+			return fmt.Errorf("fault: invalid lane flap %+v", f)
+		}
+		if f.Up <= f.Down {
+			return fmt.Errorf("fault: lane flap on edge %d ends at %v, at or before its start %v",
+				f.Edge, f.Up, f.Down)
+		}
+	}
+	if c.RetrainWindow < 0 {
+		return fmt.Errorf("fault: negative RetrainWindow %v", c.RetrainWindow)
+	}
 	return nil
 }
 
@@ -170,24 +239,44 @@ const (
 	EvKillLink EventKind = iota
 	// EvKillCube fails a cube (memory, or the whole node when Full).
 	EvKillCube
-	// EvLaneFail down-binds an edge to half width.
+	// EvLaneFail down-binds an edge to half width (a permanent lane
+	// failure, or the Down half of a LaneFlap).
 	EvLaneFail
+	// EvRepairLink returns a killed edge to service. At is the instant
+	// retraining completes and the edge carries traffic again; Start is
+	// when retraining began (the configured LinkRepair.At).
+	EvRepairLink
+	// EvRepairCube returns a killed cube to service: its address range
+	// re-homes back from the spare.
+	EvRepairCube
+	// EvLaneRepair re-binds a flapped edge to full width (the Up half
+	// of a LaneFlap).
+	EvLaneRepair
 )
 
-// Event is one scheduled fault, in the merged time-ordered schedule.
+// Event is one scheduled fault or repair, in the merged time-ordered
+// schedule.
 type Event struct {
-	At   sim.Time
-	Kind EventKind
-	Edge int           // EvKillLink, EvLaneFail
-	Node packet.NodeID // EvKillCube
-	Full bool          // EvKillCube
+	At    sim.Time
+	Start sim.Time // EvRepairLink: retraining begin (At - RetrainWindow)
+	Kind  EventKind
+	Edge  int           // EvKillLink, EvLaneFail, EvRepairLink, EvLaneRepair
+	Node  packet.NodeID // EvKillCube, EvRepairCube
+	Full  bool          // EvKillCube
 }
 
-// Schedule merges the configured faults into one list sorted by time
-// (stable, so same-instant faults apply in declaration order:
-// link kills, then cube kills, then lane failures).
+// Schedule merges the configured faults and repairs into one list
+// sorted by time (stable, so same-instant events apply in declaration
+// order: link kills, cube kills, lane failures, flap downs, then link
+// repairs, cube repairs, flap ups — faults before repairs, so an
+// ambiguous same-instant kill/repair pair is caught by Build as a kill
+// while down). A link repair's event time is its effective link-up
+// instant, Start + RetrainWindow, so the sorted order equals the order
+// in which routing actually changes; c must carry defaults
+// (WithDefaults) for the window to be applied.
 func (c *Config) Schedule() []Event {
-	evs := make([]Event, 0, len(c.KillLinks)+len(c.KillCubes)+len(c.LaneFails))
+	evs := make([]Event, 0, len(c.KillLinks)+len(c.KillCubes)+len(c.LaneFails)+
+		len(c.RepairLinks)+len(c.RepairCubes)+2*len(c.LaneFlaps))
 	for _, k := range c.KillLinks {
 		evs = append(evs, Event{At: k.At, Kind: EvKillLink, Edge: k.Edge})
 	}
@@ -197,8 +286,125 @@ func (c *Config) Schedule() []Event {
 	for _, k := range c.LaneFails {
 		evs = append(evs, Event{At: k.At, Kind: EvLaneFail, Edge: k.Edge})
 	}
+	for _, f := range c.LaneFlaps {
+		evs = append(evs, Event{At: f.Down, Kind: EvLaneFail, Edge: f.Edge})
+	}
+	for _, r := range c.RepairLinks {
+		evs = append(evs, Event{At: r.At + c.RetrainWindow, Start: r.At, Kind: EvRepairLink, Edge: r.Edge})
+	}
+	for _, r := range c.RepairCubes {
+		evs = append(evs, Event{At: r.At, Kind: EvRepairCube, Node: r.Node})
+	}
+	for _, f := range c.LaneFlaps {
+		evs = append(evs, Event{At: f.Up, Kind: EvLaneRepair, Edge: f.Edge})
+	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
 	return evs
+}
+
+// Build validates the scheduled fault/repair timeline and returns the
+// merged, time-ordered event schedule. It walks a per-edge and
+// per-cube alive/dead state machine over the sorted events and
+// rejects:
+//
+//   - a repair of a link or cube that is not down at its time (which
+//     covers repairs of targets never killed, and repairs scheduled
+//     at-or-before their kill — same-instant pairs sort kill-first);
+//   - a kill of a target already down, including a link kill landing
+//     inside a repair's retraining window;
+//   - a link repair whose retraining would begin before the kill;
+//   - overlapping or touching flap windows on one edge;
+//   - flaps mixed with kills or permanent lane failures on the same
+//     edge (the width a flap restores would be ambiguous).
+//
+// Topology-aware checks (edge ranges, post-kill connectivity) stay
+// with the builder in internal/core, which knows the graph. c must
+// already carry defaults (WithDefaults).
+func (c *Config) Build() ([]Event, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	flapEdges := make(map[int][]LaneFlap)
+	for _, f := range c.LaneFlaps {
+		flapEdges[f.Edge] = append(flapEdges[f.Edge], f)
+	}
+	for _, k := range c.KillLinks {
+		if len(flapEdges[k.Edge]) > 0 {
+			return nil, fmt.Errorf("fault: edge %d has both a kill and a lane flap", k.Edge)
+		}
+	}
+	for _, k := range c.LaneFails {
+		if len(flapEdges[k.Edge]) > 0 {
+			return nil, fmt.Errorf("fault: edge %d has both a permanent lane failure and a lane flap", k.Edge)
+		}
+		// Retraining re-binds the full lane set, which would silently
+		// heal a permanent lane failure on the same edge.
+		for _, r := range c.RepairLinks {
+			if r.Edge == k.Edge {
+				return nil, fmt.Errorf("fault: edge %d has both a permanent lane failure and a link repair", k.Edge)
+			}
+		}
+	}
+	flapOrder := make([]int, 0, len(flapEdges))
+	for edge := range flapEdges {
+		flapOrder = append(flapOrder, edge)
+	}
+	sort.Ints(flapOrder)
+	for _, edge := range flapOrder {
+		sorted := append([]LaneFlap(nil), flapEdges[edge]...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Down < sorted[j].Down })
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i].Down <= sorted[i-1].Up {
+				return nil, fmt.Errorf("fault: overlapping lane flaps on edge %d ([%v,%v] and [%v,%v])",
+					edge, sorted[i-1].Down, sorted[i-1].Up, sorted[i].Down, sorted[i].Up)
+			}
+		}
+	}
+
+	evs := c.Schedule()
+	linkDown := make(map[int]bool)
+	linkKillAt := make(map[int]sim.Time)
+	cubeDown := make(map[packet.NodeID]bool)
+	cubeKillAt := make(map[packet.NodeID]sim.Time)
+	for _, ev := range evs {
+		switch ev.Kind {
+		case EvKillLink:
+			if linkDown[ev.Edge] {
+				return nil, fmt.Errorf("fault: edge %d killed at %v while already down (repair it first)",
+					ev.Edge, ev.At)
+			}
+			linkDown[ev.Edge] = true
+			linkKillAt[ev.Edge] = ev.At
+		case EvRepairLink:
+			if !linkDown[ev.Edge] {
+				return nil, fmt.Errorf("fault: repair of edge %d at %v, which is not down (no earlier kill)",
+					ev.Edge, ev.Start)
+			}
+			if ev.Start <= linkKillAt[ev.Edge] {
+				return nil, fmt.Errorf("fault: repair of edge %d at %v, at or before its kill at %v",
+					ev.Edge, ev.Start, linkKillAt[ev.Edge])
+			}
+			linkDown[ev.Edge] = false
+		case EvKillCube:
+			if cubeDown[ev.Node] {
+				return nil, fmt.Errorf("fault: cube %d killed at %v while already dead (repair it first)",
+					ev.Node, ev.At)
+			}
+			cubeDown[ev.Node] = true
+			cubeKillAt[ev.Node] = ev.At
+		case EvRepairCube:
+			if !cubeDown[ev.Node] {
+				return nil, fmt.Errorf("fault: repair of cube %d at %v, which is not dead (no earlier kill)",
+					ev.Node, ev.At)
+			}
+			if ev.At <= cubeKillAt[ev.Node] {
+				return nil, fmt.Errorf("fault: repair of cube %d at %v, at or before its kill at %v",
+					ev.Node, ev.At, cubeKillAt[ev.Node])
+			}
+			cubeDown[ev.Node] = false
+		}
+	}
+	return evs, nil
 }
 
 // LinkFault is the per-direction error model a link.Direction consults

@@ -61,6 +61,37 @@ type Stats struct {
 	CRCErrors   uint64   // transmissions corrupted in flight (failed CRC)
 	Retries     uint64   // retransmissions out of the retry buffer
 	Dropped     uint64   // packets abandoned after exhausting MaxRetries
+	Retrains    uint64   // completed retraining cycles (returns to service)
+}
+
+// State is a direction's service state. A failed direction moves
+// Up -> Down (Fail), holds Down until the physical repair lands, then
+// retrains (BeginRetrain) for a configured sim-time window before
+// CompleteRetrain returns it to service. Down and Retraining both
+// accept and transmit nothing; they are distinct so observability can
+// tell a dead link from one coming back.
+type State uint8
+
+const (
+	// Up is the normal in-service state.
+	Up State = iota
+	// Down is a failed direction awaiting repair.
+	Down
+	// Retraining is the recovery window between repair and service.
+	Retraining
+)
+
+// String renders the state for logs and gauges.
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	case Retraining:
+		return "retraining"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
 }
 
 // Direction is one half of a full-duplex link: a bounded per-VC output
@@ -97,7 +128,22 @@ type Direction struct {
 	// link.
 	flt    *fault.LinkFault
 	retryQ []retryEntry
-	dead   bool
+	state  State
+
+	// origBps is the full-width serialization bandwidth bound at
+	// construction; retraining and flap recovery re-bind to it.
+	origBps int64
+	// outstanding counts, per VC, packets launched toward the receiver
+	// whose credit will eventually come back via ReturnCredit (in
+	// flight on the wire or parked in the remote input buffer). It is
+	// what CompleteRetrain subtracts when it re-arms the credit
+	// counters, so stale returns arriving after recovery cannot
+	// overflow them.
+	outstanding [packet.NumVCs]int
+	// healedBits counts bits sent after the direction's first
+	// completed retraining — the route-back evidence FaultCounters
+	// exposes as HealedBits.
+	healedBits uint64
 
 	// pumpFn and arriveFn are bound once at construction so the per-packet
 	// hot path schedules them without allocating a closure.
@@ -146,7 +192,7 @@ func New(eng *sim.Engine, cfg Config, meter Meter) *Direction {
 	if meter == nil {
 		meter = nopMeter{}
 	}
-	d := &Direction{eng: eng, cfg: cfg, meter: meter}
+	d := &Direction{eng: eng, cfg: cfg, meter: meter, origBps: cfg.BandwidthBps}
 	for vc := range d.credits {
 		d.credits[vc] = cfg.Credits
 	}
@@ -186,9 +232,9 @@ func (d *Direction) AttachFault(f *fault.LinkFault) { d.flt = f }
 func (d *Direction) Stats() Stats { return d.stats }
 
 // CanAccept reports whether the output queue of vc has room. A failed
-// direction accepts nothing.
+// or retraining direction accepts nothing.
 func (d *Direction) CanAccept(vc packet.VC) bool {
-	return !d.dead && len(d.queue[vc]) < d.cfg.QueueDepth
+	return d.state == Up && len(d.queue[vc]) < d.cfg.QueueDepth
 }
 
 // QueueLen reports the occupancy of the vc output queue.
@@ -204,8 +250,17 @@ func (d *Direction) RetryLen() int { return len(d.retryQ) }
 // down-binding.
 func (d *Direction) Bandwidth() int64 { return d.cfg.BandwidthBps }
 
-// Dead reports whether the direction has been failed.
-func (d *Direction) Dead() bool { return d.dead }
+// Dead reports whether the direction is out of service (failed or
+// still retraining).
+func (d *Direction) Dead() bool { return d.state != Up }
+
+// State reports the direction's service state.
+func (d *Direction) State() State { return d.state }
+
+// HealedBits reports the bits transmitted since the direction's first
+// completed retraining: nonzero exactly when traffic routed back onto
+// this direction after a repair.
+func (d *Direction) HealedBits() uint64 { return d.healedBits }
 
 // Downbind halves the serialization bandwidth, modeling an HMC link
 // dropping to half width after a SerDes lane failure. Transmissions
@@ -216,13 +271,23 @@ func (d *Direction) Downbind() {
 	}
 }
 
+// Rebind restores the full-width serialization bandwidth bound at
+// construction — the Up half of a lane flap, where the lane retrains
+// while the link keeps running at reduced width.
+func (d *Direction) Rebind() {
+	d.cfg.BandwidthBps = d.origBps
+}
+
 // Fail kills the direction. Every packet waiting in the output queues or
 // parked in the retry buffer is handed to drain (for the owning router to
 // re-route); packets already serialized onto the wire still land at the
 // receiver. After Fail the direction accepts nothing and transmits
-// nothing.
+// nothing until a BeginRetrain/CompleteRetrain cycle restores it.
 func (d *Direction) Fail(drain func(*packet.Packet)) {
-	d.dead = true
+	if d.state != Up {
+		panic(fmt.Sprintf("link: Fail on a direction already %v", d.state))
+	}
+	d.state = Down
 	for vc := range d.queue {
 		for _, e := range d.queue[vc] {
 			drain(e.p)
@@ -235,11 +300,50 @@ func (d *Direction) Fail(drain func(*packet.Packet)) {
 	d.retryQ = nil
 }
 
+// BeginRetrain moves a failed direction into the retraining state: the
+// physical repair has landed, the SerDes is re-acquiring lane lock,
+// and no traffic flows yet.
+func (d *Direction) BeginRetrain() {
+	if d.state != Down {
+		panic(fmt.Sprintf("link: BeginRetrain on a direction that is %v, not down", d.state))
+	}
+	d.state = Retraining
+}
+
+// CompleteRetrain returns a retraining direction to service with fresh
+// per-packet state: the full lane set re-binds (restoring the
+// construction-time bandwidth), the retry buffer and its exponential
+// backoff are gone (Fail drained them), per-VC credit-stall latches
+// clear, and the credit counters re-arm to capacity minus the packets
+// still outstanding at the receiver — whose eventual ReturnCredits
+// then restore full capacity without overflow. Upstream routers are
+// notified of the empty output queues (onSpace) so traffic drains back
+// onto the healed direction immediately.
+func (d *Direction) CompleteRetrain() {
+	if d.state != Retraining {
+		panic(fmt.Sprintf("link: CompleteRetrain on a direction that is %v, not retraining", d.state))
+	}
+	d.state = Up
+	d.cfg.BandwidthBps = d.origBps
+	d.retryQ = nil
+	d.stats.Retrains++
+	for vc := packet.VC(0); vc < packet.NumVCs; vc++ {
+		d.credits[vc] = d.cfg.Credits - d.outstanding[vc]
+		d.stalled[vc] = false
+	}
+	if d.onSpace != nil {
+		for vc := packet.VC(0); vc < packet.NumVCs; vc++ {
+			d.onSpace(vc)
+		}
+	}
+	d.pump()
+}
+
 // Send enqueues p for transmission. The caller must have checked
 // CanAccept; Send panics on overflow to surface flow-control bugs.
 func (d *Direction) Send(p *packet.Packet) {
-	if d.dead {
-		panic(fmt.Sprintf("link: send on failed link for %v", p))
+	if d.state != Up {
+		panic(fmt.Sprintf("link: send on %v link for %v", d.state, p))
 	}
 	vc := packet.VCOf(p.Kind)
 	if !d.CanAccept(vc) {
@@ -253,7 +357,8 @@ func (d *Direction) Send(p *packet.Packet) {
 // buffer slot of the given VC.
 func (d *Direction) ReturnCredit(vc packet.VC) {
 	d.credits[vc]++
-	if d.credits[vc] > d.cfg.Credits {
+	d.outstanding[vc]--
+	if d.credits[vc] > d.cfg.Credits || d.outstanding[vc] < 0 {
 		panic("link: credit overflow")
 	}
 	d.pump()
@@ -264,7 +369,7 @@ func (d *Direction) ReturnCredit(vc packet.VC) {
 // queue traffic (they hold receiver credits, so landing them first
 // unblocks the most). It is idempotent per simulated instant.
 func (d *Direction) pump() {
-	if d.dead || d.pumpScheduled {
+	if d.state != Up || d.pumpScheduled {
 		return
 	}
 	now := d.eng.Now()
@@ -342,6 +447,9 @@ func (d *Direction) transmit(vc packet.VC) {
 	d.stats.BusyTime += end - now
 	d.stats.Sent[vc]++
 	d.stats.BitsSent += uint64(bits)
+	if d.stats.Retrains > 0 {
+		d.healedBits += uint64(bits)
+	}
 
 	d.finishTransmit(e.p, vc, 1, end, bits)
 
@@ -373,6 +481,9 @@ func (d *Direction) finishTransmit(p *packet.Packet, vc packet.VC, attempts int,
 		d.eng.At(readyAt, d.pumpFn)
 		return
 	}
+	// The transmission will land: its credit is now owed back by the
+	// receiver (CompleteRetrain subtracts these when re-arming credits).
+	d.outstanding[vc]++
 	if d.crossPost != nil {
 		d.crossPost(end+d.cfg.SerDesLatency, d.arriveFn, p)
 		return
@@ -394,6 +505,9 @@ func (d *Direction) sendRetry(now sim.Time) bool {
 		d.stats.BusyTime += end - now
 		d.stats.Retries++
 		d.stats.BitsSent += uint64(r.bits)
+		if d.stats.Retrains > 0 {
+			d.healedBits += uint64(r.bits)
+		}
 		d.finishTransmit(r.p, r.vc, r.attempts+1, end, r.bits)
 		return true
 	}

@@ -10,6 +10,7 @@ import (
 func TestDetmap(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), detmap.Analyzer,
 		"memnet/internal/sim/dm",
+		"memnet/internal/fault/rec",
 		"example.com/notsim",
 	)
 }

@@ -1,0 +1,69 @@
+// Package rec is a detmap fixture modeling the fault layer's
+// kill/repair timeline validation: per-target maps are fine to key
+// state by, but any iteration that drives error returns or event
+// emission must be sorted.
+package rec
+
+import (
+	"fmt"
+	"sort"
+)
+
+type flap struct{ down, up int64 }
+
+// Bad: which edge's overlap error surfaces first depends on map order.
+func overlapErrorsUnsorted(flapEdges map[int][]flap) error {
+	for edge, fs := range flapEdges { // want `nondeterministic iteration over map flapEdges`
+		for i := 1; i < len(fs); i++ {
+			if fs[i].down <= fs[i-1].up {
+				return fmt.Errorf("overlapping flaps on edge %d", edge)
+			}
+		}
+	}
+	return nil
+}
+
+// Good: the shipped pattern — collect the edges, sort, then validate
+// in edge order so the first error is stable across runs.
+func overlapErrorsSorted(flapEdges map[int][]flap) error {
+	edges := make([]int, 0, len(flapEdges))
+	for edge := range flapEdges {
+		edges = append(edges, edge)
+	}
+	sort.Ints(edges)
+	for _, edge := range edges {
+		fs := flapEdges[edge]
+		for i := 1; i < len(fs); i++ {
+			if fs[i].down <= fs[i-1].up {
+				return fmt.Errorf("overlapping flaps on edge %d", edge)
+			}
+		}
+	}
+	return nil
+}
+
+type event struct {
+	edge int
+	kill bool
+}
+
+// Good: per-target alive/dead state machines keyed by map are fine
+// when the walk is driven by the already-sorted event slice — map
+// reads and writes carry no iteration order.
+func timeline(evs []event) error {
+	down := make(map[int]bool)
+	for _, ev := range evs {
+		if ev.kill {
+			if down[ev.edge] {
+				return fmt.Errorf("edge %d killed while down", ev.edge)
+			}
+			down[ev.edge] = true
+			continue
+		}
+		if !down[ev.edge] {
+			return fmt.Errorf("edge %d repaired while up", ev.edge)
+		}
+		down[ev.edge] = false
+	}
+	return nil
+}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestSchedcheck(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), schedcheck.Analyzer, "b")
+	analysistest.Run(t, analysistest.TestData(), schedcheck.Analyzer, "b", "rec")
 }

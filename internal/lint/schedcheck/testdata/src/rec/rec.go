@@ -1,0 +1,43 @@
+// Package rec exercises schedcheck against recovery-style scheduling:
+// arming retrain begin/complete events from a fault schedule.
+package rec
+
+import "memnet/internal/sim"
+
+// repairEvent mirrors the fault schedule's dual-time shape: Start is
+// when the link begins retraining, At is when it completes.
+type repairEvent struct {
+	Start, At sim.Time
+}
+
+// Bad: deriving the retrain-begin instant by subtracting the window
+// from the completion time can go negative when the window exceeds
+// the repair time.
+func badRetrainStart(eng *sim.Engine, ev repairEvent, window sim.Time, f sim.Handler) {
+	eng.At(ev.At-window, f) // want `possibly-negative absolute time`
+}
+
+// Bad: a float-scaled backoff on the recovery path.
+func badBackoff(eng *sim.Engine, base sim.Time, factor float64, f sim.Handler) {
+	eng.Schedule(sim.Time(float64(base)*factor), f) // want `float-derived delay`
+}
+
+// Good: the shipped shape — the schedule carries both instants and
+// recovery arms them directly; additive windows cannot go negative.
+func goodRetrainArming(eng *sim.Engine, ev repairEvent, begin, complete sim.Handler) {
+	eng.At(ev.Start, begin)
+	eng.At(ev.At, complete)
+}
+
+func goodAdditiveWindow(eng *sim.Engine, window sim.Time, f sim.Handler) {
+	eng.At(eng.Now()+window, f)
+}
+
+// Good: a guarded, annotated drain delay whose monotonicity is proven.
+func goodGuardedDrain(eng *sim.Engine, busyUntil sim.Time, f sim.Handler) {
+	if busyUntil <= eng.Now() {
+		return
+	}
+	//lint:monotonic guarded above: busyUntil > Now(), difference is positive
+	eng.Schedule(busyUntil-eng.Now(), f)
+}

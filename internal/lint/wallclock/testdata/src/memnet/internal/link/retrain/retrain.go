@@ -1,0 +1,35 @@
+// Package retrain is a wallclock fixture posing as link-recovery code:
+// retrain windows and repair deadlines must be sim.Time arithmetic,
+// never host-clock reads.
+package retrain
+
+import "time"
+
+type simTime int64
+
+// Bad: measuring a retrain window off the host clock makes recovery
+// latency depend on machine load instead of simulated time.
+func badRetrainWindow(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock time\.Since in simulation package`
+}
+
+// Bad: stamping a repair completion with the host clock.
+func badRepairStamp() time.Time {
+	return time.Now() // want `wall-clock time\.Now in simulation package`
+}
+
+// Bad: pacing the retrain state machine with a real sleep.
+func badRetrainPacing() {
+	time.Sleep(200 * time.Nanosecond) // want `wall-clock time\.Sleep in simulation package`
+}
+
+// Good: the shipped shape — repair deadlines are additive simulated
+// time, and time.Duration appears only as a unit-conversion type on
+// configuration boundaries.
+func goodRetrainDeadline(killAt, window simTime) simTime {
+	return killAt + window
+}
+
+func goodWindowFromConfig(d time.Duration) simTime {
+	return simTime(d.Nanoseconds()) * 1000
+}

@@ -10,6 +10,7 @@ import (
 func TestWallclock(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), wallclock.Analyzer,
 		"memnet/internal/core/wc",
+		"memnet/internal/link/retrain",
 		"memnet/internal/prof/ok",
 	)
 }

@@ -23,10 +23,21 @@ type FaultCounters struct {
 	// redirected to the spare at the source.
 	Rehomed uint64
 	// LaneFails, LinksKilled, and CubesKilled count applied scheduled
-	// faults.
+	// faults (LaneFails includes the down half of lane flaps).
 	LaneFails   uint64
 	LinksKilled uint64
 	CubesKilled uint64
+	// LinksRepaired, CubesRepaired, and LaneRepairs count applied
+	// scheduled recoveries: links retrained back into service, cube
+	// address ranges re-homed back from their spares, and flapped
+	// lanes re-bound to full width.
+	LinksRepaired uint64
+	CubesRepaired uint64
+	LaneRepairs   uint64
+	// HealedBits counts bits transmitted on link directions after they
+	// completed retraining — nonzero exactly when post-repair traffic
+	// routed back over healed links.
+	HealedBits uint64
 }
 
 // Any reports whether any counter is nonzero.

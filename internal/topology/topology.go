@@ -598,6 +598,55 @@ func (g *Graph) Disable(deadEdges []int, deadNodes []packet.NodeID) (*Graph, err
 	return ng, nil
 }
 
+// Enable is Disable's mirror: it returns a copy of the graph with the
+// given edges and nodes returned to service and every routing table
+// recomputed — the route-back primitive for runtime repairs. Nodes,
+// Edges, and adjacency are shared untouched, so port indices stay
+// valid across the swap. Enabling a target that is not currently dead
+// is an error (it would mask a schedule bug). When the last fault is
+// healed the dead masks are dropped entirely, so a fully repaired
+// graph computes route tables identical to the pristine build —
+// traffic returns to the exact pre-fault paths.
+func (g *Graph) Enable(edges []int, nodes []packet.NodeID) (*Graph, error) {
+	ng := &Graph{Kind: g.Kind, Nodes: g.Nodes, Edges: g.Edges}
+	ng.deadEdge = make([]bool, len(g.Edges))
+	ng.deadNode = make([]bool, len(g.Nodes))
+	copy(ng.deadEdge, g.deadEdge)
+	copy(ng.deadNode, g.deadNode)
+	for _, ei := range edges {
+		if ei < 0 || ei >= len(g.Edges) {
+			return nil, fmt.Errorf("topology: no edge %d", ei)
+		}
+		if !ng.deadEdge[ei] {
+			return nil, fmt.Errorf("topology: cannot repair edge %d: not dead", ei)
+		}
+		ng.deadEdge[ei] = false
+	}
+	for _, n := range nodes {
+		if int(n) <= int(packet.HostNode) || int(n) >= len(g.Nodes) {
+			return nil, fmt.Errorf("topology: cannot repair node %d", n)
+		}
+		if !ng.deadNode[n] {
+			return nil, fmt.Errorf("topology: cannot repair node %d: not dead", n)
+		}
+		ng.deadNode[n] = false
+	}
+	anyDead := false
+	for _, d := range ng.deadEdge {
+		anyDead = anyDead || d
+	}
+	for _, d := range ng.deadNode {
+		anyDead = anyDead || d
+	}
+	if !anyDead {
+		ng.deadEdge, ng.deadNode = nil, nil
+	}
+	if err := ng.rebuild(); err != nil {
+		return nil, fmt.Errorf("topology: repair left the network inconsistent: %w", err)
+	}
+	return ng, nil
+}
+
 // RemoveEdge returns a copy of the graph with edge ei failed (removed)
 // and routes recomputed. It errors if the network would disconnect —
 // chains and trees have no redundancy; rings, skip lists, and meshes

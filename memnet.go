@@ -137,22 +137,61 @@ type Instance = core.Instance
 // 0 and cubes count up from 1 (used to address CubeKill targets).
 type NodeID = packet.NodeID
 
-// FaultConfig configures the deterministic fault-injection layer: a
-// seeded per-link bit error rate (CRC-detected, absorbed by HMC-style
-// retry buffers), scheduled lane failures (bandwidth down-binding),
-// scheduled link and cube kills (routed around via recomputed tables),
+// FaultConfig configures the deterministic fault-injection and
+// recovery layer: a seeded per-link bit error rate (CRC-detected,
+// absorbed by HMC-style retry buffers), scheduled lane failures
+// (bandwidth down-binding), scheduled link and cube kills (routed
+// around via recomputed tables), scheduled repairs that retrain links
+// and route traffic back onto the healed paths, transient lane flaps,
 // and a progress watchdog that fails wedged runs fast with a
 // queue/credit diagnostic. The zero value (or a nil pointer) injects
 // nothing and leaves the simulation bit-identical to a fault-free run.
 type FaultConfig = fault.Config
 
 // LinkKill / CubeKill / LaneFail schedule individual faults inside a
-// FaultConfig.
+// FaultConfig; LinkRepair / CubeRepair / LaneFlap schedule the
+// matching recoveries (validated against the kill timeline at Build).
 type (
-	LinkKill = fault.LinkKill
-	CubeKill = fault.CubeKill
-	LaneFail = fault.LaneFail
+	LinkKill   = fault.LinkKill
+	CubeKill   = fault.CubeKill
+	LaneFail   = fault.LaneFail
+	LinkRepair = fault.LinkRepair
+	CubeRepair = fault.CubeRepair
+	LaneFlap   = fault.LaneFlap
 )
+
+// ChaosSpec parameterizes GenerateChaos: how many seeded link kills,
+// cube kills, and lane flaps to pack into the schedule horizon.
+type ChaosSpec = fault.ChaosSpec
+
+// GenerateChaos builds a validated random kill/repair/flap schedule
+// for the configuration's topology: every killed link keeps the
+// network connected while down, every kill is repaired within the
+// horizon, and the whole schedule passes FaultConfig validation. The
+// same Config and ChaosSpec always produce the same schedule.
+func GenerateChaos(c Config, spec ChaosSpec) (*FaultConfig, error) {
+	p, err := c.params()
+	if err != nil {
+		return nil, err
+	}
+	techs, err := core.TechOrder(&p.Sys)
+	if err != nil {
+		return nil, err
+	}
+	group := p.Tuning.MetaCubeGroup
+	if group == 0 {
+		group = core.DefaultTuning().MetaCubeGroup
+	}
+	g, err := topology.Build(p.Topo, techs, topology.WithMetaCubeGroup(group))
+	if err != nil {
+		return nil, err
+	}
+	fc, err := fault.Chaos(g, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &fc, nil
+}
 
 // FaultCounters aggregates the resilience layer's whole-run counters
 // (Results.Fault); all-zero when fault injection is disabled.

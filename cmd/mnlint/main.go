@@ -11,6 +11,12 @@
 //	go build -o /tmp/mnlint ./cmd/mnlint
 //	go vet -vettool=/tmp/mnlint ./...
 //
+// Output formats (-format) are text (default), json, and sarif; a
+// checked-in baseline (-baseline, regenerated with -write-baseline)
+// suppresses known findings by (analyzer, file, message) so new
+// violations fail CI without a flag day on old ones. -cpuprofile
+// writes a pprof profile of the whole run.
+//
 // Exit status is 0 when no findings are reported, 1 on findings, 2 on
 // operational errors (unloadable packages, type errors).
 package main
@@ -26,6 +32,8 @@ import (
 	"memnet/internal/lint"
 	"memnet/internal/lint/analysis"
 	"memnet/internal/lint/loader"
+	"memnet/internal/lint/report"
+	"memnet/internal/prof"
 )
 
 func main() {
@@ -44,13 +52,22 @@ func main() {
 			os.Exit(vetUnit(os.Args[1]))
 		}
 	}
+	// Standalone mode runs behind an exit-code return so deferred
+	// cleanups (the CPU profile writer) execute before os.Exit.
+	os.Exit(realMain())
+}
 
+func realMain() int {
 	var (
-		checks = flag.String("c", "", "comma-separated analyzer subset (default: all)")
-		list   = flag.Bool("list", false, "list analyzers and exit")
+		checks        = flag.String("c", "", "comma-separated analyzer subset (default: all)")
+		list          = flag.Bool("list", false, "list analyzers and exit")
+		format        = flag.String("format", "text", "output format: text, json, or sarif")
+		baselinePath  = flag.String("baseline", "", "suppress findings recorded in this baseline file")
+		writeBaseline = flag.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: mnlint [-c analyzers] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mnlint [-c analyzers] [-format text|json|sarif] [-baseline file] [packages]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -60,53 +77,93 @@ func main() {
 		for _, a := range analyzers {
 			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	if *checks != "" {
 		names := strings.Split(*checks, ",")
 		analyzers = lint.ByName(names...)
 		if len(analyzers) != len(names) {
 			fmt.Fprintf(os.Stderr, "mnlint: unknown analyzer in -c %q\n", *checks)
-			os.Exit(2)
+			return 2
 		}
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "mnlint: unknown -format %q (want text, json, or sarif)\n", *format)
+		return 2
 	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
+	if *cpuprofile != "" {
+		stop, err := prof.Start(*cpuprofile, "")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mnlint: %v\n", err)
+			return 2
+		}
+		defer stop()
+	}
+
 	l := loader.New()
 	units, err := l.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mnlint: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
-	exit := 0
+	// Collect everything, then order globally: the loader yields
+	// packages in dependency order, which is not reporting order.
+	var all []analysis.Finding
+	facts := analysis.NewFacts()
 	for _, u := range units {
-		findings, err := analysis.RunAnalyzers(u, analyzers)
+		findings, err := analysis.RunAnalyzers(u, analyzers, facts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mnlint: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
-		for _, f := range findings {
-			fmt.Println(rel(f))
-			exit = 1
-		}
+		all = append(all, findings...)
 	}
-	os.Exit(exit)
-}
+	if wd, err := os.Getwd(); err == nil {
+		report.Relativize(all, wd)
+	}
+	report.Sort(all)
 
-// rel shortens absolute file positions to be relative to the working
-// directory, keeping CI logs and editors happy.
-func rel(f analysis.Finding) string {
-	wd, err := os.Getwd()
-	if err != nil {
-		return f.String()
+	if *writeBaseline != "" {
+		if err := report.WriteBaselineFile(*writeBaseline, report.NewBaseline(all)); err != nil {
+			fmt.Fprintf(os.Stderr, "mnlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "mnlint: wrote %d finding(s) to %s\n", len(all), *writeBaseline)
+		return 0
 	}
-	if r, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-		f.Pos.Filename = r
+	if *baselinePath != "" {
+		b, err := report.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mnlint: %v\n", err)
+			return 2
+		}
+		all = b.Filter(all)
 	}
-	return f.String()
+
+	var emitErr error
+	switch *format {
+	case "text":
+		emitErr = report.WriteText(os.Stdout, all)
+	case "json":
+		emitErr = report.WriteJSON(os.Stdout, all)
+	case "sarif":
+		emitErr = report.WriteSARIF(os.Stdout, all, analyzers)
+	}
+	if emitErr != nil {
+		fmt.Fprintf(os.Stderr, "mnlint: %v\n", emitErr)
+		return 2
+	}
+	if len(all) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // vetConfig is the subset of the go vet unit-checker configuration file
@@ -138,8 +195,10 @@ func vetUnit(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "mnlint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// The driver requires the facts file to exist even though mnlint's
-	// analyzers exchange no facts.
+	// The driver requires the facts file to exist. mnlint's dataflow
+	// analyzers exchange facts through their own in-process store (each
+	// vet unit starts fresh, so cross-package summaries degrade to the
+	// analyzers' optimistic defaults); the vetx file is only a marker.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte("mnlint\n"), 0o666); err != nil {
 			fmt.Fprintf(os.Stderr, "mnlint: %v\n", err)
@@ -163,7 +222,7 @@ func vetUnit(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "mnlint: %v\n", err)
 		return 1
 	}
-	findings, err := analysis.RunAnalyzers(u, lint.Analyzers())
+	findings, err := analysis.RunAnalyzers(u, lint.Analyzers(), nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mnlint: %v\n", err)
 		return 1

@@ -128,7 +128,10 @@ type Direction struct {
 	// link.
 	flt    *fault.LinkFault
 	retryQ []retryEntry
-	state  State
+	// state is the service-state machine; mnlint's fsmcheck analyzer
+	// verifies every write follows the declared transitions.
+	//lint:fsm up->down,down->retraining,retraining->up
+	state State
 
 	// origBps is the full-width serialization bandwidth bound at
 	// construction; retraining and flap recovery re-bind to it.

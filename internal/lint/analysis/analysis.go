@@ -36,6 +36,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the cross-package fact store shared by every pass of a
+	// run. The driver analyzes packages in dependency order, so facts
+	// exported while analyzing internal/link are visible here when the
+	// same analyzer later runs over internal/core. Never nil.
+	Facts *Facts
+
 	// Report delivers one diagnostic. The driver sets it.
 	Report func(Diagnostic)
 }
@@ -74,8 +80,14 @@ type Unit struct {
 }
 
 // RunAnalyzers applies each analyzer to the unit and returns the
-// findings sorted by position then analyzer name.
-func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
+// findings sorted by position then analyzer name. facts may be nil
+// (an empty store is substituted); passing one store across the units
+// of a run, in dependency order, is what makes cross-package
+// summaries visible to the semantic analyzers.
+func RunAnalyzers(u *Unit, analyzers []*Analyzer, facts *Facts) ([]Finding, error) {
+	if facts == nil {
+		facts = NewFacts()
+	}
 	var out []Finding
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -84,6 +96,7 @@ func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
 			Files:     u.Files,
 			Pkg:       u.Pkg,
 			TypesInfo: u.Info,
+			Facts:     facts,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {

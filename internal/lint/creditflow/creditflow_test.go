@@ -1,0 +1,16 @@
+package creditflow_test
+
+import (
+	"testing"
+
+	"memnet/internal/lint/analysistest"
+	"memnet/internal/lint/creditflow"
+)
+
+// TestCreditflow runs the analyzer over the fixture packages in
+// dependency order: the core fixture's expectations only hold if the
+// facts exported while analyzing the link fixture crossed over.
+func TestCreditflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), creditflow.Analyzer,
+		"memnet/internal/link", "memnet/internal/core")
+}

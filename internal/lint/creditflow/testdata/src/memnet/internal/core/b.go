@@ -1,0 +1,31 @@
+// Fixture: cross-package fact flow. This package is loaded after the
+// link fixture, so link's ownership summaries (Buffer.Push owns, Peek
+// does not) arrive through the shared fact store — exactly how the
+// driver checks internal/core's wiring closures against summaries
+// computed over internal/link.
+package core
+
+import "memnet/internal/link"
+
+// wireGood discharges through an owner whose fact came from the link
+// fixture package.
+func wireGood(d *link.Direction, b *link.Buffer) {
+	d.SetDeliver(func(p *link.Packet) {
+		b.Push(p)
+	})
+}
+
+// wirePeek passes the packet only to a function the fact store knows
+// is not an owner: the leak is visible across the package boundary.
+func wirePeek(d *link.Direction) {
+	d.SetDeliver(func(p *link.Packet) { // want `delivery closure does not hand packet "p" to an owning sink`
+		link.Peek(p)
+	})
+}
+
+// wireDrop never mentions the packet as a value at all.
+func wireDrop(d *link.Direction) {
+	d.SetDeliver(func(p *link.Packet) { // want `delivery closure does not hand packet "p" to an owning sink`
+		_ = p.ID
+	})
+}

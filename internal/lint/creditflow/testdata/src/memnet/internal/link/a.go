@@ -1,0 +1,183 @@
+// Fixture: credit-conservation obligations inside one package. The
+// types mirror the real internal/link shapes (credits/outstanding
+// counters, delivery closures) without importing it.
+package link
+
+type VC int
+
+type Packet struct{ ID int }
+
+type Direction struct {
+	credits     [2]int
+	outstanding [2]int
+}
+
+// ReturnCredit is a direct credit sink (credits increment).
+func (d *Direction) ReturnCredit(vc VC) {
+	d.credits[vc]++
+	d.outstanding[vc]--
+}
+
+// finish is a sink via the outstanding counter.
+func (d *Direction) finish(vc VC) {
+	d.outstanding[vc]++
+}
+
+// transmitGood retires the credit on both branches.
+func (d *Direction) transmitGood(vc VC, drop bool) {
+	d.credits[vc]--
+	if drop {
+		d.credits[vc]++
+		return
+	}
+	d.outstanding[vc]++
+}
+
+// transmitLeak loses the credit on the early-return path.
+func (d *Direction) transmitLeak(vc VC, busy bool) {
+	d.credits[vc]-- // want `credit decrement does not reach a credit sink`
+	if busy {
+		return
+	}
+	d.outstanding[vc]++
+}
+
+// transmitViaCall discharges through a same-package sink call.
+func (d *Direction) transmitViaCall(vc VC) {
+	d.credits[vc]--
+	d.finish(vc)
+}
+
+// transmitSubAssign opens an obligation with -= and leaks it in the
+// loop's zero-iteration case.
+func (d *Direction) transmitSubAssign(vc VC, n int) {
+	d.credits[vc] -= 1 // want `credit decrement does not reach a credit sink`
+	for i := 0; i < n; i++ {
+		d.ReturnCredit(vc)
+	}
+}
+
+// transmitPanic is clean: the violating path dies in panic, which
+// retires nothing by design.
+func (d *Direction) transmitPanic(vc VC) {
+	d.credits[vc]--
+	if d.credits[vc] < 0 {
+		panic("credit underflow")
+	}
+	d.ReturnCredit(vc)
+}
+
+// transmitDefer retires the credit in a deferred call.
+func (d *Direction) transmitDefer(vc VC) {
+	defer d.ReturnCredit(vc)
+	d.credits[vc]--
+}
+
+// transmitAnnotated documents an intentional transfer the analyzer
+// cannot see; the escape hatch waives the obligation.
+func (d *Direction) transmitAnnotated(vc VC) {
+	d.credits[vc]-- //lint:creditsink retired by the peer on reconnect
+}
+
+// delegate retires the credit through a func-typed value (the Buffer
+// credit-callback pattern).
+func (d *Direction) delegate(vc VC, credit func(VC)) {
+	d.credits[vc]--
+	credit(vc)
+}
+
+// Retire carries a //lint:creditsink on its declaration: callers may
+// treat it as a sink even though its body shows no increment.
+//
+//lint:creditsink retires via the coalescing side table
+func (d *Direction) Retire(vc VC) {}
+
+// transmitViaAnnotated discharges through the annotated sink.
+func (d *Direction) transmitViaAnnotated(vc VC) {
+	d.credits[vc]--
+	d.Retire(vc)
+}
+
+// Buffer stores delivered packets; Push takes ownership.
+type Buffer struct {
+	q []*Packet
+}
+
+func (b *Buffer) Push(p *Packet) {
+	b.q = append(b.q, p)
+}
+
+// Peek only inspects the packet: not an owner.
+func Peek(p *Packet) int {
+	return p.ID
+}
+
+// SetDeliver wires a delivery closure (the arg makes any nested func
+// literal a delivery obligation).
+func (d *Direction) SetDeliver(fn func(*Packet)) {}
+
+// wireGood hands the packet off on its only path.
+func wireGood(d *Direction, b *Buffer) {
+	d.SetDeliver(func(p *Packet) {
+		b.Push(p)
+	})
+}
+
+// wireLeak drops the packet on the filtered branch.
+func wireLeak(d *Direction, b *Buffer) {
+	d.SetDeliver(func(p *Packet) { // want `delivery closure does not hand packet "p" to an owning sink`
+		if p.ID == 0 {
+			return
+		}
+		b.Push(p)
+	})
+}
+
+// wirePeek only reads the packet through a known non-owner: still a leak.
+func wirePeek(d *Direction) {
+	d.SetDeliver(func(p *Packet) { // want `delivery closure does not hand packet "p" to an owning sink`
+		Peek(p)
+	})
+}
+
+// wireAnnotated waives the obligation with the escape hatch.
+func wireAnnotated(d *Direction) {
+	//lint:creditsink telemetry mirror, ownership stays upstream
+	d.SetDeliver(func(p *Packet) {
+		Peek(p)
+	})
+}
+
+// Router returns its delivery closure from a method named Deliver,
+// delegating through a func-typed field.
+type Router struct {
+	sink func(*Packet)
+}
+
+func (r *Router) Deliver() func(*Packet) {
+	return func(p *Packet) {
+		r.sink(p)
+	}
+}
+
+// Tap also returns a closure, but from a method not named Deliver: no
+// obligation applies, so the silent drop below is not reported.
+func (r *Router) Tap() func(*Packet) {
+	return func(p *Packet) {
+		_ = p.ID
+	}
+}
+
+// LeakyRouter's Deliver forgets the packet on one branch.
+type LeakyRouter struct {
+	sink func(*Packet)
+}
+
+func (r *LeakyRouter) Deliver() func(*Packet) {
+	return func(p *Packet) { // want `delivery closure does not hand packet "p" to an owning sink`
+		if p.ID < 0 {
+			return
+		}
+		r.sink(p)
+	}
+}

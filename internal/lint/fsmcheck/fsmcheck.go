@@ -1,0 +1,428 @@
+// Package fsmcheck implements the annotation-driven FSM-conformance
+// analyzer.
+//
+// A struct field holding a state machine declares its legal transitions
+// on the field itself:
+//
+//	//lint:fsm up->down,down->retraining,retraining->up
+//	state State
+//
+// Each name binds, case-insensitively, to a package-level constant of
+// the field's type (Up, Down, Retraining). fsmcheck then audits every
+// write to the field in the package: at each `x.state = <const>` the
+// analyzer knows, from a forward dataflow, which states the field may
+// currently hold, and reports the write if any possible current state
+// has no declared transition to the new one.
+//
+// The possible-state set starts at "any" and is refined two ways:
+//
+//   - Writes: after `x.state = Down` the set is exactly {down}.
+//   - Guards: the CFG solver's per-edge transfer narrows on branch
+//     conditions, so in `if d.state != Up { panic(...) }` the fallthrough
+//     path knows the state is {up} — the panic-guard idiom the real
+//     link methods use becomes a verified precondition, not a blind
+//     runtime check.
+//
+// Any function call resets the set to "any" (the callee may transition
+// the machine), and writes of non-constant values are not checkable
+// (they also reset to "any"). The analysis is package-local: the
+// audited fields are unexported, so every write site is in view.
+//
+// //lint:fsmtrans on a write suppresses its finding — for transitions
+// that are deliberately outside the declared machine, e.g. a test-only
+// force-reset.
+package fsmcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"memnet/internal/lint/analysis"
+	"memnet/internal/lint/cfg"
+	"memnet/internal/lint/lintutil"
+)
+
+// Analyzer is the fsmcheck entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "fsmcheck",
+	Doc:  "writes to //lint:fsm-annotated state fields must follow the declared transitions",
+	Run:  run,
+}
+
+// machine is one annotated field's declared state machine.
+type machine struct {
+	field *types.Var
+	// names maps constant value -> state name (the constant's name,
+	// lowercased to match the annotation's spelling).
+	names map[int64]string
+	// trans[from] is the set of declared successor values.
+	trans map[int64]map[int64]bool
+	// all is the bitmask of every declared state value.
+	all uint64
+}
+
+func (m *machine) bit(v int64) uint64 {
+	if v < 0 || v >= 64 {
+		return 0
+	}
+	return 1 << uint(v)
+}
+
+// name renders a state value for diagnostics.
+func (m *machine) name(v int64) string {
+	if n, ok := m.names[v]; ok {
+		return n
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := lintutil.NewDirectives(pass.Fset, pass.Files)
+	machines := collectMachines(pass, dirs)
+	if len(machines) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, fb := range lintutil.Functions(f) {
+			checkBody(pass, dirs, machines, fb.Body)
+		}
+	}
+	return nil, nil
+}
+
+// collectMachines finds //lint:fsm-annotated struct fields and parses
+// their transition specs against the constants of the field's type.
+func collectMachines(pass *analysis.Pass, dirs *lintutil.Directives) map[*types.Var]*machine {
+	out := make(map[*types.Var]*machine)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					spec, ok := dirs.Text(name.Pos(), "fsm")
+					if !ok {
+						continue
+					}
+					fv, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if m := parseMachine(pass, fv, spec, name.Pos()); m != nil {
+						out[fv] = m
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// parseMachine binds one //lint:fsm spec ("a->b,b->c,...") to the
+// constants of the field's type. Malformed specs are reported at the
+// field and yield no machine (no transition would be checkable).
+func parseMachine(pass *analysis.Pass, field *types.Var, spec string, pos token.Pos) *machine {
+	named, ok := field.Type().(*types.Named)
+	if !ok {
+		pass.Reportf(pos, "//lint:fsm field %s must have a named type with declared constants", field.Name())
+		return nil
+	}
+	// Collect the field type's package-level constants: state name
+	// (lowercased) -> value.
+	consts := make(map[string]int64)
+	var names []string
+	scope := pass.Pkg.Scope()
+	for _, n := range scope.Names() {
+		c, ok := scope.Lookup(n).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) || c.Val().Kind() != constant.Int {
+			continue
+		}
+		v, _ := constant.Int64Val(c.Val())
+		consts[strings.ToLower(c.Name())] = v
+		names = append(names, strings.ToLower(c.Name()))
+	}
+	sort.Strings(names)
+	m := &machine{field: field, names: make(map[int64]string), trans: make(map[int64]map[int64]bool)}
+	for lower, v := range consts {
+		m.names[v] = lower
+		m.all |= m.bit(v)
+	}
+	// The spec's first whitespace-separated token is the transition
+	// list; anything after it is prose.
+	if i := strings.IndexAny(spec, " \t"); i >= 0 {
+		spec = spec[:i]
+	}
+	for _, t := range strings.Split(spec, ",") {
+		from, to, ok := strings.Cut(t, "->")
+		if !ok {
+			pass.Reportf(pos, "//lint:fsm transition %q is not of the form from->to", t)
+			return nil
+		}
+		fv, fok := consts[strings.ToLower(from)]
+		tv, tok := consts[strings.ToLower(to)]
+		if !fok || !tok {
+			bad := from
+			if fok {
+				bad = to
+			}
+			pass.Reportf(pos, "//lint:fsm names unknown state %q (states of %s: %s)", bad, named.Obj().Name(), strings.Join(names, ", "))
+			return nil
+		}
+		if m.trans[fv] == nil {
+			m.trans[fv] = make(map[int64]bool)
+		}
+		m.trans[fv][tv] = true
+	}
+	return m
+}
+
+// masks tracks, per base variable, the bitmask of states an annotated
+// field may hold. Absent means "any state"; a nil map is the dataflow
+// bottom (unvisited).
+type masks map[maskKey]uint64
+
+// maskKey identifies one (object, field) pair: the machine instance a
+// refinement applies to.
+type maskKey struct {
+	base  *types.Var
+	field *types.Var
+}
+
+func (ms masks) clone() masks {
+	out := make(masks, len(ms))
+	for k, v := range ms {
+		out[k] = v
+	}
+	return out
+}
+
+// checkBody audits one function body's writes against the machines.
+func checkBody(pass *analysis.Pass, dirs *lintutil.Directives, machines map[*types.Var]*machine, body *ast.BlockStmt) {
+	// Cheap pre-filter: skip functions that never touch an annotated
+	// field.
+	touches := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if fv, _ := fieldOf(pass, sel); machines[fv] != nil {
+				touches = true
+			}
+		}
+		return !touches
+	})
+	if !touches {
+		return
+	}
+	g := cfg.New(body)
+	prob := cfg.Problem[masks]{
+		Dir:      cfg.Forward,
+		Boundary: masks{},
+		Init:     nil,
+		Transfer: func(blk *cfg.Block, in masks) masks {
+			ms := in.clone()
+			for _, n := range blk.Nodes {
+				transferNode(pass, machines, n, ms, nil)
+			}
+			return ms
+		},
+		Join:  joinMasks,
+		Equal: equalMasks,
+		EdgeTransfer: func(blk *cfg.Block, succ int, out masks) masks {
+			return refine(pass, machines, blk.Cond, succ == 0, out)
+		},
+	}
+	sol := cfg.Solve(g, prob)
+	for _, blk := range g.Blocks {
+		ms := sol.In[blk.Index]
+		if ms == nil && blk != g.Entry {
+			continue // unreachable
+		}
+		ms = ms.clone()
+		for _, n := range blk.Nodes {
+			transferNode(pass, machines, n, ms, func(pos token.Pos, format string, args ...any) {
+				if !dirs.Allows(pos, "fsmtrans") {
+					pass.Reportf(pos, format, args...)
+				}
+			})
+		}
+	}
+}
+
+// transferNode applies one node's effect on the state masks; when
+// report is non-nil, undeclared transitions are reported.
+func transferNode(pass *analysis.Pass, machines map[*types.Var]*machine, n ast.Node, ms masks, report func(token.Pos, string, ...any)) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			applyWrite(pass, machines, x, ms, report)
+		case *ast.CallExpr:
+			// The callee may run any number of transitions.
+			for k := range ms {
+				delete(ms, k)
+			}
+		}
+		return true
+	})
+}
+
+// applyWrite checks and folds in assignments to annotated fields.
+func applyWrite(pass *analysis.Pass, machines map[*types.Var]*machine, a *ast.AssignStmt, ms masks, report func(token.Pos, string, ...any)) {
+	for i, lhs := range a.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		fv, base := fieldOf(pass, sel)
+		m := machines[fv]
+		if m == nil {
+			continue
+		}
+		key := maskKey{base, fv}
+		cur, refined := ms[key]
+		if !refined || base == nil {
+			cur = m.all
+		}
+		var val int64
+		valKnown := false
+		if a.Tok == token.ASSIGN && len(a.Lhs) == len(a.Rhs) {
+			if tv, ok := pass.TypesInfo.Types[a.Rhs[i]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+				val, valKnown = constant.Int64Val(tv.Value)
+			}
+		}
+		if !valKnown {
+			// Unverifiable write: the machine may be anywhere after it.
+			if base != nil {
+				delete(ms, key)
+			}
+			continue
+		}
+		if report != nil {
+			var bad []string
+			for v, name := range m.names {
+				if cur&m.bit(v) == 0 {
+					continue
+				}
+				if !m.trans[v][val] {
+					bad = append(bad, name)
+				}
+			}
+			if len(bad) > 0 {
+				sort.Strings(bad)
+				report(a.Pos(), "undeclared state transition %s -> %s on field %s (//lint:fsm allows no such edge; annotate //lint:fsmtrans if deliberate)",
+					strings.Join(bad, "|"), m.name(val), m.field.Name())
+			}
+		}
+		if base != nil {
+			ms[key] = m.bit(val)
+		}
+	}
+}
+
+// fieldOf resolves a selector to (annotatable field, base variable).
+// The base is nil for compound paths (p.shards[i].state), which are
+// checked against the full state set but not tracked.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) (*types.Var, *types.Var) {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	fv, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	var base *types.Var
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		base, _ = lintutil.ObjectOf(pass.TypesInfo, id).(*types.Var)
+	}
+	return fv, base
+}
+
+// refine narrows the masks along a branch edge using the block's
+// condition: `x.state == K` proves {K} on the true edge and removes K
+// on the false edge; `!=` mirrors it.
+func refine(pass *analysis.Pass, machines map[*types.Var]*machine, cond ast.Expr, isTrue bool, out masks) masks {
+	if cond == nil {
+		return out
+	}
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return out
+	}
+	sel, valExpr := bin.X, bin.Y
+	if _, ok := ast.Unparen(sel).(*ast.SelectorExpr); !ok {
+		sel, valExpr = bin.Y, bin.X
+	}
+	selExpr, ok := ast.Unparen(sel).(*ast.SelectorExpr)
+	if !ok {
+		return out
+	}
+	fv, base := fieldOf(pass, selExpr)
+	m := machines[fv]
+	if m == nil || base == nil {
+		return out
+	}
+	tv, ok := pass.TypesInfo.Types[valExpr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return out
+	}
+	v, _ := constant.Int64Val(tv.Value)
+	key := maskKey{base, fv}
+	cur, refined := out[key]
+	if !refined {
+		cur = m.all
+	}
+	eq := (bin.Op == token.EQL) == isTrue
+	next := out.clone()
+	if eq {
+		next[key] = cur & m.bit(v)
+	} else {
+		next[key] = cur &^ m.bit(v)
+	}
+	return next
+}
+
+// joinMasks unions the possible states per tracked key; a key missing
+// from either side means "any", so only keys present in both survive.
+// nil is the unvisited identity.
+func joinMasks(a, b masks) masks {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(masks)
+	for k, av := range a {
+		if bv, ok := b[k]; ok {
+			out[k] = av | bv
+		}
+	}
+	return out
+}
+
+func equalMasks(a, b masks) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	for k, av := range a {
+		if bv, ok := b[k]; !ok || av != bv {
+			return false
+		}
+	}
+	return true
+}

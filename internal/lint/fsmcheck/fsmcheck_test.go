@@ -1,0 +1,13 @@
+package fsmcheck_test
+
+import (
+	"testing"
+
+	"memnet/internal/lint/analysistest"
+	"memnet/internal/lint/fsmcheck"
+)
+
+func TestFsmcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), fsmcheck.Analyzer,
+		"memnet/internal/link", "memnet/internal/sim")
+}

@@ -1,0 +1,91 @@
+// Fixture: FSM-conformance checking on an annotated state field,
+// mirroring the real link.Direction service-state machine.
+package link
+
+type State uint8
+
+const (
+	Up State = iota
+	Down
+	Retraining
+)
+
+type Direction struct {
+	//lint:fsm up->down,down->retraining,retraining->up
+	state State
+}
+
+// Fail follows the declared machine behind its panic guard: the
+// fallthrough path proves state == Up, and up->down is declared.
+func (d *Direction) Fail() {
+	if d.state != Up {
+		panic("link: Fail on a non-up direction")
+	}
+	d.state = Down
+}
+
+// BeginRetrain uses an equality guard with an early return.
+func (d *Direction) BeginRetrain() {
+	if d.state == Down {
+		d.state = Retraining
+		return
+	}
+	panic("link: BeginRetrain on a direction that is not down")
+}
+
+// CompleteRetrain closes the cycle.
+func (d *Direction) CompleteRetrain() {
+	if d.state != Retraining {
+		panic("link: CompleteRetrain outside retraining")
+	}
+	d.state = Up
+}
+
+// forceUp writes Up from an unknown state: down->up is not declared,
+// and neither is up->up.
+func (d *Direction) forceUp() {
+	d.state = Up // want `undeclared state transition down\|up -> up on field state`
+}
+
+// skipRetrain proves the state is Down, then jumps straight to Up.
+func (d *Direction) skipRetrain() {
+	if d.state != Down {
+		return
+	}
+	d.state = Up // want `undeclared state transition down -> up on field state`
+}
+
+// doubleFail writes down->down: the write itself refines the mask, so
+// the second write's source set is exactly {down}.
+func (d *Direction) doubleFail() {
+	if d.state != Up {
+		return
+	}
+	d.state = Down
+	d.state = Down // want `undeclared state transition down -> down on field state`
+}
+
+// guardLost calls between guard and write: the callee may transition
+// the machine, so the write is checked against every state again.
+func (d *Direction) guardLost() {
+	if d.state != Up {
+		return
+	}
+	d.poke()
+	d.state = Down // want `undeclared state transition down\|retraining -> down on field state`
+}
+
+func (d *Direction) poke() {}
+
+// reset documents a deliberate out-of-machine write.
+func (d *Direction) reset() {
+	d.state = Up //lint:fsmtrans test-only force reset
+}
+
+// dynamic writes a non-constant value: not checkable, and afterwards
+// the machine may be anywhere — the follow-up write is checked against
+// the full state set.
+func (d *Direction) dynamic(s State) {
+	d.state = s
+	d.state = Retraining // want `undeclared state transition retraining\|up -> retraining on field state`
+}

@@ -1,0 +1,19 @@
+// Fixture: malformed //lint:fsm specs are reported at the field.
+package sim
+
+type Phase int
+
+const (
+	Idle Phase = iota
+	Busy
+)
+
+type Worker struct {
+	//lint:fsm idle->busy,busy->sleeping
+	phase Phase // want `//lint:fsm names unknown state "sleeping" \(states of Phase: busy, idle\)`
+}
+
+type Clock struct {
+	//lint:fsm tick
+	t int // want `//lint:fsm field t must have a named type with declared constants`
+}

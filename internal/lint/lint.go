@@ -12,15 +12,30 @@
 //	           cross-goroutine access in internal/sim and internal/core
 //	doccheck   no undocumented exported identifiers in the documented-API
 //	           packages (campaign, experiments, obs, fnv)
+//	creditflow every flow-credit decrement or delivery-closure packet
+//	           reaches a credit sink on all paths (CFG dataflow)
+//	lookahead  no cross-shard post scheduled below the smallest declared
+//	           Connect lookahead (constant propagation over the CFG)
+//	fsmcheck   state-field writes follow the //lint:fsm declared
+//	           transition relation (branch-refined state masks)
 //
-// See DESIGN.md ("Determinism rules") for the rationale and the
-// //lint: annotation escape hatches. cmd/mnlint is the driver.
+// The last three run on the internal/lint/cfg dataflow engine and
+// exchange cross-package facts through the shared analysis.Facts store,
+// so callee summaries from internal/link and internal/sim are visible
+// when internal/core is analyzed.
+//
+// See DESIGN.md ("Determinism rules" and "Dataflow linting") for the
+// rationale and the //lint: annotation escape hatches. cmd/mnlint is
+// the driver.
 package lint
 
 import (
 	"memnet/internal/lint/analysis"
+	"memnet/internal/lint/creditflow"
 	"memnet/internal/lint/detmap"
 	"memnet/internal/lint/doccheck"
+	"memnet/internal/lint/fsmcheck"
+	"memnet/internal/lint/lookahead"
 	"memnet/internal/lint/poolcheck"
 	"memnet/internal/lint/schedcheck"
 	"memnet/internal/lint/sharedstate"
@@ -38,6 +53,9 @@ func Analyzers() []*analysis.Analyzer {
 		sharedstate.Analyzer,
 		statskey.Analyzer,
 		doccheck.Analyzer,
+		creditflow.Analyzer,
+		lookahead.Analyzer,
+		fsmcheck.Analyzer,
 	}
 }
 

@@ -3,6 +3,18 @@
 // library. Package discovery shells out to `go list -json`; imports are
 // type-checked from source via go/importer's "source" mode, so the
 // loader works offline and without pre-compiled export data.
+//
+// Two properties matter to the mnlint driver:
+//
+//   - Units come back in dependency order (imports before importers),
+//     so a fact store threaded through the run sees callee summaries
+//     from internal/link and internal/sim before internal/core is
+//     analyzed.
+//   - Type-checking is memoized: every unit the loader checks is
+//     registered with the import resolver, so a package in the load
+//     set is type-checked exactly once no matter how many dependents
+//     import it (the source importer would otherwise re-check it from
+//     scratch), and no matter how many analyzers run over it.
 package loader
 
 import (
@@ -24,21 +36,60 @@ import (
 	"memnet/internal/lint/analysis"
 )
 
-// Loader holds the shared FileSet and import resolver. All packages
-// loaded through one Loader share both, so cross-package type identity
-// and source positions stay consistent.
+// Loader holds the shared FileSet, import resolver, and the memo of
+// packages already type-checked. All packages loaded through one
+// Loader share all three, so cross-package type identity and source
+// positions stay consistent and nothing is checked twice.
 type Loader struct {
 	Fset *token.FileSet
 	imp  types.Importer
+	// checked memoizes completed type-checks by import path: both the
+	// Units produced (so repeated LoadFiles/LoadDir calls are free) and
+	// the bare *types.Package consulted by the caching importer before
+	// it falls back to the from-source resolver.
+	units map[string]*analysis.Unit
+	pkgs  map[string]*types.Package
 }
 
 // New returns an empty loader.
 func New() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{
-		Fset: fset,
-		imp:  importer.ForCompiler(fset, "source", nil),
+	l := &Loader{
+		Fset:  fset,
+		units: make(map[string]*analysis.Unit),
+		pkgs:  make(map[string]*types.Package),
 	}
+	l.imp = &cachingImporter{
+		loader:   l,
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	return l
+}
+
+// cachingImporter resolves imports out of the loader's memo first and
+// only then from source. Combined with dependency-ordered Load, every
+// package in the load set is type-checked exactly once; the source
+// importer alone would re-check each package per dependent.
+type cachingImporter struct {
+	loader   *Loader
+	fallback types.Importer
+}
+
+func (ci *cachingImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := ci.loader.pkgs[path]; ok {
+		return pkg, nil
+	}
+	return ci.fallback.Import(path)
+}
+
+func (ci *cachingImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := ci.loader.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if from, ok := ci.fallback.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return ci.fallback.Import(path)
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -47,11 +98,17 @@ type listedPackage struct {
 	Dir        string
 	Name       string
 	GoFiles    []string
+	Imports    []string
 	Error      *struct{ Err string }
 }
 
 // Load expands the patterns (e.g. "./...") relative to dir and returns
-// one Unit per matched package, in `go list` order.
+// one Unit per matched package, in dependency order: every package
+// precedes the packages that import it (ties broken by import path).
+// Dependency order is what lets one shared fact store feed callee
+// summaries forward, and what makes the type-check memo effective —
+// by the time a dependent is checked, its in-set imports are already
+// in the cache.
 func (l *Loader) Load(dir string, patterns ...string) ([]*analysis.Unit, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"."}
@@ -65,11 +122,12 @@ func (l *Loader) Load(dir string, patterns ...string) ([]*analysis.Unit, error) 
 	if err != nil {
 		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
-	var units []*analysis.Unit
+	listed := make(map[string]*listedPackage)
+	var order []string
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
-		var p listedPackage
-		if err := dec.Decode(&p); err == io.EOF {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("go list: decoding output: %v", err)
@@ -80,6 +138,12 @@ func (l *Loader) Load(dir string, patterns ...string) ([]*analysis.Unit, error) 
 		if len(p.GoFiles) == 0 {
 			continue
 		}
+		listed[p.ImportPath] = p
+		order = append(order, p.ImportPath)
+	}
+	var units []*analysis.Unit
+	for _, path := range dependencyOrder(listed, order) {
+		p := listed[path]
 		files := make([]string, len(p.GoFiles))
 		for i, f := range p.GoFiles {
 			files[i] = filepath.Join(p.Dir, f)
@@ -91,6 +155,37 @@ func (l *Loader) Load(dir string, patterns ...string) ([]*analysis.Unit, error) 
 		units = append(units, u)
 	}
 	return units, nil
+}
+
+// dependencyOrder topologically sorts the listed packages so imports
+// precede importers, deterministically (DFS from lexically-sorted
+// roots over lexically-sorted in-set imports). Import cycles cannot
+// occur in compilable Go; if one sneaks past `go list -e`, the visited
+// guard still terminates with an arbitrary-but-stable order.
+func dependencyOrder(listed map[string]*listedPackage, order []string) []string {
+	sort.Strings(order)
+	visited := make(map[string]bool, len(listed))
+	out := make([]string, 0, len(listed))
+	var visit func(path string)
+	visit = func(path string) {
+		if visited[path] {
+			return
+		}
+		visited[path] = true
+		p := listed[path]
+		imps := append([]string(nil), p.Imports...)
+		sort.Strings(imps)
+		for _, imp := range imps {
+			if _, inSet := listed[imp]; inSet {
+				visit(imp)
+			}
+		}
+		out = append(out, path)
+	}
+	for _, path := range order {
+		visit(path)
+	}
+	return out
 }
 
 // LoadDir loads the single package rooted at dir under the given import
@@ -119,7 +214,12 @@ func (l *Loader) LoadDir(pkgPath, dir string) (*analysis.Unit, error) {
 
 // LoadFiles parses and type-checks the given files as one package. Type
 // errors are fatal: the linters depend on complete type information.
+// Results are memoized by pkgPath: a second call returns the first
+// call's unit without re-parsing or re-checking.
 func (l *Loader) LoadFiles(pkgPath string, filenames []string) (*analysis.Unit, error) {
+	if u, ok := l.units[pkgPath]; ok {
+		return u, nil
+	}
 	var files []*ast.File
 	for _, fn := range filenames {
 		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
@@ -153,11 +253,17 @@ func (l *Loader) LoadFiles(pkgPath string, filenames []string) (*analysis.Unit, 
 		}
 		return nil, fmt.Errorf("loader: type errors in %s:%s", pkgPath, sb.String())
 	}
-	return &analysis.Unit{
+	u := &analysis.Unit{
 		PkgPath: pkgPath,
 		Fset:    l.Fset,
 		Files:   files,
 		Pkg:     pkg,
 		Info:    info,
-	}, nil
+	}
+	l.units[pkgPath] = u
+	// Register with the caching importer: dependents loaded after this
+	// point resolve the import from the memo instead of re-checking the
+	// package from source.
+	l.pkgs[pkgPath] = pkg
+	return u, nil
 }

@@ -1,0 +1,466 @@
+// Package lookahead implements the conservative-lookahead analyzer.
+//
+// The parallel engine's correctness contract (sim.Parallel) is that a
+// cross-shard post lands no earlier than the sender's clock plus the
+// declared channel lookahead; the runtime enforces it with a panic at
+// the post site (sim.Shard.post). That panic fires deep into a
+// campaign, on whatever seed first drives the schedule across the
+// boundary. lookahead moves the provable subset of those failures to
+// compile time by constant-propagating delay arithmetic into each
+// cross-shard scheduling site:
+//
+//   - Parallel.Connect with a provably non-positive constant lookahead
+//     is reported (the runtime panics on it unconditionally).
+//   - Shard.Post / Shard.PostArg whose time argument evaluates to the
+//     sender's clock plus a non-positive offset is reported: every
+//     declared channel has a positive lookahead, so such a post can
+//     never be legal.
+//   - A post whose offset is a positive constant below the smallest
+//     constant lookahead any Connect declares (in this package or one
+//     analyzed earlier — the minimum travels as a package fact) is
+//     reported: it underruns the global window no matter which channel
+//     carries it.
+//   - A closure handed to link-style SetCrossShard receives the
+//     arrival time the boundary guarantees; rescheduling below that
+//     parameter (param minus a constant) is reported — the lookahead
+//     contract only covers times at or past it.
+//
+// The propagation is a forward dataflow over the internal/lint/cfg
+// graph with a four-point symbolic domain: Const(k), Now+k (the
+// sender's clock plus k), Param+k (the boundary-guaranteed time plus
+// k), and Top. Joins keep a variable only where every incoming path
+// agrees exactly — anything else goes to Top — so the analyzer only
+// reports what it can prove on every path through the site.
+// //lint:lookahead on the call suppresses a finding.
+package lookahead
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"memnet/internal/lint/analysis"
+	"memnet/internal/lint/cfg"
+	"memnet/internal/lint/lintutil"
+)
+
+// Analyzer is the lookahead entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "lookahead",
+	Doc:  "cross-shard posts must be scheduled at least one channel lookahead past the sender's clock",
+	Run:  run,
+}
+
+// minFact is the package fact carrying the smallest constant lookahead
+// declared by the package's Connect calls, as an int64.
+const minFact = "lookahead.min"
+
+// symbolic value kinds.
+type kind uint8
+
+const (
+	top    kind = iota // unknown
+	constK             // absolute constant n
+	nowK               // sender's clock plus n
+	paramK             // boundary-guaranteed arrival time plus n
+)
+
+type symval struct {
+	k kind
+	n int64
+}
+
+func (v symval) shift(d int64) symval {
+	if v.k == top {
+		return v
+	}
+	return symval{v.k, v.n + d}
+}
+
+// env maps local Time-ish variables to symbolic values; absent means
+// Top. A nil env is the dataflow bottom (block not yet visited).
+type env map[*types.Var]symval
+
+func (e env) clone() env {
+	out := make(env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := lintutil.NewDirectives(pass.Fset, pass.Files)
+
+	// Pass 1: collect the package's constant Connect lookaheads (and
+	// report non-positive ones), then fold in the minima exported by
+	// previously analyzed packages.
+	minLA := int64(-1)
+	analysis.Inspect(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isMethod(pass.TypesInfo, call, "Parallel", "Connect") || len(call.Args) != 3 {
+			return true
+		}
+		la, ok := constInt(pass.TypesInfo, call.Args[2])
+		if !ok {
+			return true
+		}
+		if la <= 0 {
+			if !dirs.Allows(call.Pos(), "lookahead") {
+				pass.Reportf(call.Pos(), "Connect declares a non-positive lookahead (%d); the runtime rejects it — a cross-shard channel needs a positive latency to give the window barrier room", la)
+			}
+			return true
+		}
+		if minLA < 0 || la < minLA {
+			minLA = la
+		}
+		return true
+	})
+	if minLA > 0 {
+		if prev, ok := pass.Facts.PackageFact(pass.Pkg.Path(), minFact); !ok || minLA < prev.(int64) {
+			pass.Facts.ExportPackageFact(pass.Pkg.Path(), minFact, minLA)
+		}
+	}
+	for _, v := range pass.Facts.AllFacts(minFact) {
+		if la := v.(int64); minLA < 0 || la < minLA {
+			minLA = la
+		}
+	}
+
+	// Pass 2: dataflow over every function body. Closures handed to
+	// SetCrossShard get their time parameter seeded as Param+0.
+	boundary := crossShardLits(pass)
+	for _, f := range pass.Files {
+		for _, fb := range lintutil.Functions(f) {
+			var seed env
+			if lit, ok := fb.Node.(*ast.FuncLit); ok {
+				if p := boundary[lit]; p != nil {
+					seed = env{p: symval{paramK, 0}}
+				}
+			}
+			checkBody(pass, dirs, fb.Body, seed, minLA)
+		}
+	}
+	return nil, nil
+}
+
+// crossShardLits maps each func literal passed to a SetCrossShard call
+// to its guaranteed-time parameter (the first sim.Time-named param).
+func crossShardLits(pass *analysis.Pass) map[*ast.FuncLit]*types.Var {
+	out := make(map[*ast.FuncLit]*types.Var)
+	analysis.Inspect(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := lintutil.CalleeFunc(pass.TypesInfo, call)
+		if callee == nil || callee.Name() != "SetCrossShard" {
+			return true
+		}
+		for _, arg := range call.Args {
+			lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			sig, ok := pass.TypesInfo.TypeOf(lit).(*types.Signature)
+			if !ok {
+				continue
+			}
+			for i := 0; i < sig.Params().Len(); i++ {
+				p := sig.Params().At(i)
+				if named, ok := p.Type().(*types.Named); ok && named.Obj().Name() == "Time" {
+					out[lit] = p
+					break
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkBody solves the symbolic-value dataflow over one function body
+// and audits every Post/PostArg site against the propagated values.
+func checkBody(pass *analysis.Pass, dirs *lintutil.Directives, body *ast.BlockStmt, seed env, minLA int64) {
+	g := cfg.New(body)
+	if seed == nil {
+		seed = env{}
+	}
+	prob := cfg.Problem[env]{
+		Dir:      cfg.Forward,
+		Boundary: seed,
+		Init:     nil,
+		Transfer: func(blk *cfg.Block, in env) env {
+			e := in.clone()
+			for _, n := range blk.Nodes {
+				transferNode(pass, n, e)
+			}
+			return e
+		},
+		Join:  joinEnv,
+		Equal: equalEnv,
+	}
+	sol := cfg.Solve(g, prob)
+	// Replay each block from its solved input to have the environment
+	// in hand at every call site.
+	for _, blk := range g.Blocks {
+		e := sol.In[blk.Index]
+		if e == nil && blk != g.Entry {
+			continue // unreachable
+		}
+		e = e.clone()
+		for _, n := range blk.Nodes {
+			checkNode(pass, dirs, n, e, minLA)
+			transferNode(pass, n, e)
+		}
+		if blk.Cond != nil {
+			checkNode(pass, dirs, blk.Cond, e, minLA)
+		}
+	}
+}
+
+// transferNode applies one executable node's effect to the environment.
+// Nested function literals are opaque (they are analyzed separately)
+// and deferred statements take effect in the exit block, where the CFG
+// replays their calls.
+func transferNode(pass *analysis.Pass, n ast.Node, e env) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			applyAssign(pass, x, e)
+		case *ast.IncDecStmt:
+			if v := lhsVar(pass.TypesInfo, x.X); v != nil {
+				d := int64(1)
+				if x.Tok == token.DEC {
+					d = -1
+				}
+				if cur, ok := e[v]; ok {
+					e[v] = cur.shift(d)
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				// Address taken: the variable can change behind our back.
+				if v := lhsVar(pass.TypesInfo, x.X); v != nil {
+					delete(e, v)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// applyAssign folds one assignment into the environment.
+func applyAssign(pass *analysis.Pass, a *ast.AssignStmt, e env) {
+	if len(a.Lhs) != len(a.Rhs) {
+		for _, l := range a.Lhs {
+			if v := lhsVar(pass.TypesInfo, l); v != nil {
+				delete(e, v)
+			}
+		}
+		return
+	}
+	for i, l := range a.Lhs {
+		v := lhsVar(pass.TypesInfo, l)
+		if v == nil {
+			continue
+		}
+		switch a.Tok {
+		case token.ASSIGN, token.DEFINE:
+			setOrClear(e, v, eval(pass, e, a.Rhs[i]))
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			cur, ok := e[v]
+			d, isConst := constInt(pass.TypesInfo, a.Rhs[i])
+			if !ok || !isConst {
+				delete(e, v)
+				continue
+			}
+			if a.Tok == token.SUB_ASSIGN {
+				d = -d
+			}
+			e[v] = cur.shift(d)
+		default:
+			delete(e, v)
+		}
+	}
+}
+
+func setOrClear(e env, v *types.Var, val symval) {
+	if val.k == top {
+		delete(e, v)
+		return
+	}
+	e[v] = val
+}
+
+// lhsVar resolves an assignable expression to a plain local variable,
+// or nil for stores through structure.
+func lhsVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := lintutil.ObjectOf(info, id).(*types.Var)
+	return v
+}
+
+// eval computes the symbolic value of an expression under env.
+func eval(pass *analysis.Pass, e env, x ast.Expr) symval {
+	if n, ok := constInt(pass.TypesInfo, x); ok {
+		return symval{constK, n}
+	}
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		if v, ok := lintutil.ObjectOf(pass.TypesInfo, x).(*types.Var); ok {
+			if val, ok := e[v]; ok {
+				return val
+			}
+		}
+	case *ast.CallExpr:
+		if callee := lintutil.CalleeFunc(pass.TypesInfo, x); callee != nil &&
+			callee.Name() == "Now" && len(x.Args) == 0 {
+			return symval{nowK, 0}
+		}
+	case *ast.BinaryExpr:
+		l := eval(pass, e, x.X)
+		r := eval(pass, e, x.Y)
+		switch x.Op {
+		case token.ADD:
+			if l.k != top && r.k == constK {
+				return l.shift(r.n)
+			}
+			if r.k != top && l.k == constK {
+				return r.shift(l.n)
+			}
+		case token.SUB:
+			if l.k != top && r.k == constK {
+				return l.shift(-r.n)
+			}
+		}
+	}
+	return symval{top, 0}
+}
+
+// constInt extracts an integer constant value go/types folded for the
+// expression (covering named constants and typed conversions).
+func constInt(info *types.Info, x ast.Expr) (int64, bool) {
+	tv, ok := info.Types[x]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// joinEnv merges two block-input environments: nil is identity, and a
+// variable survives only where both paths agree exactly — any
+// disagreement drops it to Top (absent). The equality join bounds the
+// lattice height, so loop-carried arithmetic (at -= 1 per iteration)
+// converges to Top instead of descending forever.
+func joinEnv(a, b env) env {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(env)
+	for v, av := range a {
+		if bv, ok := b[v]; ok && av == bv {
+			out[v] = av
+		}
+	}
+	return out
+}
+
+func equalEnv(a, b env) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	for v, av := range a {
+		if bv, ok := b[v]; !ok || av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+// checkNode reports lookahead violations at Post/PostArg sites in n,
+// evaluated under the environment e.
+func checkNode(pass *analysis.Pass, dirs *lintutil.Directives, n ast.Node, e env, minLA int64) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var at ast.Expr
+		switch {
+		case isMethod(pass.TypesInfo, call, "Shard", "Post") && len(call.Args) == 3:
+			at = call.Args[1]
+		case isMethod(pass.TypesInfo, call, "Shard", "PostArg") && len(call.Args) == 4:
+			at = call.Args[1]
+		default:
+			return true
+		}
+		if dirs.Allows(call.Pos(), "lookahead") {
+			return true
+		}
+		switch v := eval(pass, e, at); v.k {
+		case nowK:
+			if v.n <= 0 {
+				pass.Reportf(call.Pos(), "cross-shard post is scheduled at the sender's clock%s; every declared channel requires a positive lookahead, so this panics at the boundary", beforeSuffix(v.n))
+			} else if minLA > 0 && v.n < minLA {
+				pass.Reportf(call.Pos(), "cross-shard post is scheduled only %d past the sender's clock, below the smallest declared channel lookahead (%d); the runtime panics at the boundary", v.n, minLA)
+			}
+		case paramK:
+			if v.n < 0 {
+				pass.Reportf(call.Pos(), "cross-shard boundary closure reschedules the arrival %d before the time the lookahead contract guarantees; the receiving shard may already be past it", -v.n)
+			}
+		}
+		return true
+	})
+}
+
+func beforeSuffix(n int64) string {
+	if n == 0 {
+		return ""
+	}
+	return " or earlier"
+}
+
+// isMethod reports whether the call invokes a method named name on a
+// receiver whose named type is typeName (any package — analysistest
+// fixtures pose as sim with their own declarations).
+func isMethod(info *types.Info, call *ast.CallExpr, typeName, name string) bool {
+	fn := lintutil.CalleeFunc(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == typeName
+}

@@ -1,0 +1,17 @@
+package lookahead_test
+
+import (
+	"testing"
+
+	"memnet/internal/lint/analysistest"
+	"memnet/internal/lint/lookahead"
+)
+
+// TestLookahead runs the analyzer over the fixture packages in
+// dependency order; the link fixture's closures import the sim
+// fixture's types, and the smallest Connect lookahead crosses over as
+// a package fact.
+func TestLookahead(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lookahead.Analyzer,
+		"memnet/internal/sim", "memnet/internal/link")
+}

@@ -1,0 +1,31 @@
+// Fixture: SetCrossShard boundary closures. The closure receives the
+// arrival time the SerDes lookahead guarantees; scheduling below that
+// parameter escapes the contract.
+package link
+
+import "memnet/internal/sim"
+
+type Direction struct {
+	post func(at sim.Time, fn sim.ArgHandler, arg any)
+}
+
+func (d *Direction) SetCrossShard(post func(at sim.Time, fn sim.ArgHandler, arg any)) {
+	d.post = post
+}
+
+// wireGood forwards the guaranteed time unchanged (and later).
+func wireGood(d *Direction, s *sim.Shard) {
+	d.SetCrossShard(func(at sim.Time, fn sim.ArgHandler, arg any) {
+		s.PostArg(1, at, fn, arg)
+	})
+	d.SetCrossShard(func(at sim.Time, fn sim.ArgHandler, arg any) {
+		s.PostArg(1, at+5, fn, arg)
+	})
+}
+
+// wireEarly reschedules the arrival before the guaranteed time.
+func wireEarly(d *Direction, s *sim.Shard) {
+	d.SetCrossShard(func(at sim.Time, fn sim.ArgHandler, arg any) {
+		s.PostArg(1, at-3, fn, arg) // want `reschedules the arrival 3 before the time the lookahead contract guarantees`
+	})
+}

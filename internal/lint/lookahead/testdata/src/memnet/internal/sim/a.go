@@ -1,0 +1,89 @@
+// Fixture: conservative-lookahead obligations. The declarations mirror
+// the real sim package shapes (Time, Engine.Now, Shard.Post/PostArg,
+// Parallel.Connect) without importing it.
+package sim
+
+type Time int64
+
+type ShardID int32
+
+type ArgHandler func(any)
+
+type Handler func()
+
+type Engine struct{ now Time }
+
+func (e *Engine) Now() Time { return e.now }
+
+type Shard struct{ eng *Engine }
+
+func (s *Shard) Engine() *Engine { return s.eng }
+
+func (s *Shard) Post(dst ShardID, at Time, fn Handler)                {}
+func (s *Shard) PostArg(dst ShardID, at Time, fn ArgHandler, arg any) {}
+
+type Parallel struct{}
+
+func (p *Parallel) Connect(src, dst ShardID, lookahead Time) {}
+
+const la = Time(10)
+
+// connectGood declares positive lookaheads; the minimum (10) becomes
+// the bound the posts below are checked against.
+func connectGood(p *Parallel) {
+	p.Connect(0, 1, la)
+	p.Connect(1, 0, 25)
+}
+
+// connectZero declares a lookahead the runtime rejects outright.
+func connectZero(p *Parallel) {
+	p.Connect(0, 1, 0) // want `Connect declares a non-positive lookahead`
+}
+
+// postGood schedules exactly one lookahead ahead: legal.
+func postGood(s *Shard, fn Handler) {
+	s.Post(1, s.Engine().Now()+la, fn)
+}
+
+// postNow schedules at the sender's clock: never legal across shards.
+func postNow(s *Shard, fn Handler) {
+	s.Post(1, s.Engine().Now(), fn) // want `scheduled at the sender's clock`
+}
+
+// postPast schedules before the sender's clock.
+func postPast(s *Shard, fn ArgHandler) {
+	s.PostArg(1, s.Engine().Now()-2, fn, nil) // want `scheduled at the sender's clock or earlier`
+}
+
+// postBelowWindow underruns the smallest declared lookahead (10).
+func postBelowWindow(s *Shard, fn Handler) {
+	s.Post(1, s.Engine().Now()+3, fn) // want `below the smallest declared channel lookahead \(10\)`
+}
+
+// postPropagated reaches the post through local delay arithmetic: the
+// dataflow must carry Now+4 through both assignments.
+func postPropagated(s *Shard, fn Handler) {
+	at := s.Engine().Now() + 2
+	at += 2
+	s.Post(1, at, fn) // want `below the smallest declared channel lookahead \(10\)`
+}
+
+// postJoinSafe disagrees across branches, so the value joins to Top
+// and nothing is provable: no report.
+func postJoinSafe(s *Shard, fn Handler, slow bool) {
+	at := s.Engine().Now() + 2
+	if slow {
+		at = s.Engine().Now() + 50
+	}
+	s.Post(1, at, fn)
+}
+
+// postAnnotated documents a deliberate same-shard fast path.
+func postAnnotated(s *Shard, fn Handler) {
+	s.Post(0, s.Engine().Now(), fn) //lint:lookahead same-shard post, exempt from the channel contract
+}
+
+// postUnknown passes an opaque time: nothing provable, no report.
+func postUnknown(s *Shard, fn Handler, at Time) {
+	s.Post(1, at, fn)
+}

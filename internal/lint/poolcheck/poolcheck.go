@@ -5,29 +5,36 @@
 // Pool.Put zeroes the packet immediately and recycles it into the next
 // transaction, so a read after Put observes zeroed (or, worse,
 // re-populated) fields — the classic use-after-free this repo's PR 1
-// host-port ownership comment warns about. The analyzer performs a
-// per-function, source-order dataflow over each local packet variable:
+// host-port ownership comment warns about. The analyzer runs a forward
+// may-analysis over the internal/lint/cfg control-flow graph, tracking
+// two bits per local packet variable:
 //
-//   - any syntactic use of the variable after the Put call is flagged,
-//     until the variable is rebound by an assignment (e.g. a fresh
-//     pool.Get);
-//   - a Put of a variable previously handed to sim.Engine.ScheduleArg /
-//     AtArg (a bound event callback that will read it at a later
-//     simulated instant) is flagged as a release of a still-scheduled
-//     packet.
+//   - freed: the variable was handed to Pool.Put on some path to here.
+//     Any later syntactic use — a field access, a second Put, passing
+//     it to a call — is flagged, until an assignment rebinds the
+//     variable (e.g. a fresh pool.Get).
+//   - scheduled: the variable was bound into a pending event via
+//     sim.Engine.ScheduleArg / AtArg, which will read it at a later
+//     simulated instant. A Put while the binding is live releases
+//     memory the callback will still read, and is flagged.
 //
-// The tracking is deliberately conservative: only identifier-typed
-// arguments are tracked, and a rebind ends tracking, so the analyzer
-// produces no false positives on the copy-header-fields-then-Put idiom
-// used by the host port.
+// Path sensitivity comes from the CFG: a Put in one branch does not
+// poison the other branch, a Put inside a loop body flags the next
+// iteration's use across the back edge, and a deferred Put is checked
+// at the function's exit (where the CFG replays deferred calls) rather
+// than at its registration site. Nested function literals are separate
+// functions: a closure runs at a different simulated time, so order
+// against the enclosing body is not an execution order.
 package poolcheck
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 
 	"memnet/internal/lint/analysis"
+	"memnet/internal/lint/cfg"
 	"memnet/internal/lint/lintutil"
 )
 
@@ -53,181 +60,230 @@ func run(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
-// release records one Pool.Put(x) call site.
-type release struct {
-	call *ast.CallExpr
-	obj  types.Object
+// pstate is one tracked packet variable's dataflow value.
+type pstate struct {
+	// freedAt is the position of the Pool.Put that released the
+	// variable's packet on some path, or NoPos while it is live.
+	freedAt token.Pos
+	// scheds are the positions of ScheduleArg/AtArg calls whose pending
+	// events still reference the packet (sorted, deduplicated).
+	scheds []token.Pos
 }
 
-// checkFunc runs the source-order dataflow over one function body.
-// Function literals nested inside are analyzed as their own bodies (a
-// closure runs at a different simulated time, so cross-boundary order
-// is meaningless anyway).
+// state maps tracked packet variables to their value; absent means
+// live and unscheduled. nil is the dataflow bottom (block unvisited).
+type state map[types.Object]pstate
+
+func (st state) clone() state {
+	out := make(state, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// checkFunc solves the ownership dataflow over one function body and
+// replays each block to report violations with the flow state in hand.
 func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
-	info := pass.TypesInfo
-	var (
-		puts      []release
-		schedules []release // packet passed as the arg of a bound event
-		rebinds   = rebindsIn(info, body)
-		deferred  = map[*ast.CallExpr]bool{}
-	)
-	inspectShallow(body, func(n ast.Node) {
-		if d, ok := n.(*ast.DeferStmt); ok {
-			deferred[d.Call] = true
+	// Cheap pre-filter: most functions never touch a Pool.
+	touches := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && lintutil.IsMethodOn(pass.TypesInfo, call, packetPkg, "Pool", "Put") {
+			touches = true
 		}
+		return !touches
 	})
-	inspectShallow(body, func(n ast.Node) {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return
-		}
-		if deferred[call] {
-			// A deferred Put runs at function exit, after every
-			// source-ordered use; it cannot create an intra-function
-			// use-after-free.
-			return
-		}
-		switch {
-		case lintutil.IsMethodOn(info, call, packetPkg, "Pool", "Put"):
-			if obj := packetArg(info, call, 0); obj != nil {
-				puts = append(puts, release{call, obj})
+	if !touches {
+		return
+	}
+	g := cfg.New(body)
+	prob := cfg.Problem[state]{
+		Dir:      cfg.Forward,
+		Boundary: state{},
+		Init:     nil,
+		Transfer: func(blk *cfg.Block, in state) state {
+			st := in.clone()
+			for _, n := range blk.Nodes {
+				scanNode(pass, n, st, nil)
 			}
-		case lintutil.IsMethodOn(info, call, simPkg, "Engine", "ScheduleArg"),
-			lintutil.IsMethodOn(info, call, simPkg, "Engine", "AtArg"):
-			if obj := packetArg(info, call, len(call.Args)-1); obj != nil {
-				schedules = append(schedules, release{call, obj})
-			}
+			return st
+		},
+		Join:  joinState,
+		Equal: equalState,
+	}
+	sol := cfg.Solve(g, prob)
+	for _, blk := range g.Blocks {
+		st := sol.In[blk.Index]
+		if st == nil && blk != g.Entry {
+			continue // unreachable
 		}
-	})
-	for _, put := range puts {
-		// A Put of a packet that an earlier statement scheduled into a
-		// pending event: the callback will fire on freed memory.
-		for _, sc := range schedules {
-			if sc.obj == put.obj && sc.call.End() <= put.call.Pos() &&
-				!reboundBetween(rebinds, put.obj, sc.call.End(), put.call.Pos()) {
-				pass.Reportf(put.call.Pos(),
-					"packet %s is still bound to a scheduled event (%s) and is being released to the pool",
-					put.obj.Name(), pass.Fset.Position(sc.call.Pos()))
-			}
+		st = st.clone()
+		for _, n := range blk.Nodes {
+			scanNode(pass, n, st, pass)
 		}
-		reportUsesAfter(pass, body, put, rebinds)
+		if blk.Cond != nil {
+			scanNode(pass, blk.Cond, st, pass)
+		}
 	}
 }
 
-// reportUsesAfter flags every identifier use of put.obj positioned
-// after the Put call, up to the next rebinding assignment.
-func reportUsesAfter(pass *analysis.Pass, body *ast.BlockStmt, put release, rebinds []rebind) {
-	limit := nextRebind(rebinds, put.obj, put.call.End())
-	inspectShallow(body, func(n ast.Node) {
-		id, ok := n.(*ast.Ident)
-		if !ok || id.Pos() < put.call.End() || id.Pos() >= limit {
-			return
+// scanNode applies one executable node to the state; when report is
+// non-nil, violations are reported as they are found. The walk skips
+// nested function literals and defer registration sites (the CFG
+// replays deferred calls in the exit block).
+func scanNode(pass *analysis.Pass, n ast.Node, st state, report *analysis.Pass) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			// A plain-identifier assignment rebinds the variable: a
+			// fresh value starts a fresh ownership window. The kill
+			// happens before the walk descends, so the LHS identifier
+			// itself is not treated as a use of the freed packet.
+			for _, lhs := range x.Lhs {
+				if obj := packetObj(pass.TypesInfo, lhs); obj != nil {
+					delete(st, obj)
+				}
+			}
+		case *ast.CallExpr:
+			switch {
+			case lintutil.IsMethodOn(pass.TypesInfo, x, packetPkg, "Pool", "Put"):
+				if obj := packetArgObj(pass.TypesInfo, x, 0); obj != nil {
+					cur := st[obj]
+					if report != nil {
+						for _, sc := range cur.scheds {
+							report.Reportf(x.Pos(),
+								"packet %s is still bound to a scheduled event (%s) and is being released to the pool",
+								obj.Name(), pass.Fset.Position(sc))
+						}
+						if cur.freedAt != token.NoPos {
+							report.Reportf(x.Pos(),
+								"use of packet %s after it was released to the pool at %s",
+								obj.Name(), pass.Fset.Position(cur.freedAt))
+						}
+					}
+					st[obj] = pstate{freedAt: x.Pos()}
+					return false // the argument identifier is the release, not a use
+				}
+			case lintutil.IsMethodOn(pass.TypesInfo, x, simPkg, "Engine", "ScheduleArg"),
+				lintutil.IsMethodOn(pass.TypesInfo, x, simPkg, "Engine", "AtArg"):
+				if obj := packetArgObj(pass.TypesInfo, x, len(x.Args)-1); obj != nil {
+					cur := st[obj]
+					cur.scheds = addPos(cur.scheds, x.Pos())
+					st[obj] = cur
+					// Keep walking: scheduling a freed packet is a use.
+				}
+			}
+		case *ast.Ident:
+			obj := lintutil.ObjectOf(pass.TypesInfo, x)
+			if obj == nil || !isPacketVar(obj) {
+				return true
+			}
+			if cur, ok := st[obj]; ok && cur.freedAt != token.NoPos && report != nil {
+				report.Reportf(x.Pos(),
+					"use of packet %s after it was released to the pool at %s",
+					obj.Name(), pass.Fset.Position(cur.freedAt))
+			}
 		}
-		if lintutil.ObjectOf(pass.TypesInfo, id) != put.obj {
-			return
-		}
-		if isRebindLHS(rebinds, id) {
-			return
-		}
-		pass.Reportf(id.Pos(),
-			"use of packet %s after it was released to the pool at %s",
-			put.obj.Name(), pass.Fset.Position(put.call.Pos()))
+		return true
 	})
 }
 
-// packetArg returns the object of call.Args[i] when it is a plain
-// identifier of type *packet.Packet, else nil.
-func packetArg(info *types.Info, call *ast.CallExpr, i int) types.Object {
-	if i < 0 || i >= len(call.Args) {
-		return nil
-	}
-	id, ok := ast.Unparen(call.Args[i]).(*ast.Ident)
+// packetObj resolves an expression to a plain identifier naming a
+// *packet.Packet variable, or nil.
+func packetObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
 	if !ok {
 		return nil
 	}
 	obj := lintutil.ObjectOf(info, id)
-	if obj == nil {
-		return nil
-	}
-	if !lintutil.NamedTypeIs(obj.Type(), packetPkg, "Packet") {
-		return nil
-	}
-	if _, isPtr := obj.Type().(*types.Pointer); !isPtr {
+	if obj == nil || !isPacketVar(obj) {
 		return nil
 	}
 	return obj
 }
 
-// rebind records an assignment whose LHS includes a tracked variable.
-type rebind struct {
-	obj types.Object
-	id  *ast.Ident // the LHS identifier
+// packetArgObj is packetObj for call.Args[i].
+func packetArgObj(info *types.Info, call *ast.CallExpr, i int) types.Object {
+	if i < 0 || i >= len(call.Args) {
+		return nil
+	}
+	return packetObj(info, call.Args[i])
 }
 
-// rebindsIn collects assignments to identifiers within body.
-func rebindsIn(info *types.Info, body *ast.BlockStmt) []rebind {
-	var out []rebind
-	inspectShallow(body, func(n ast.Node) {
-		as, ok := n.(*ast.AssignStmt)
+// isPacketVar reports whether the object is a variable of type
+// *packet.Packet.
+func isPacketVar(obj types.Object) bool {
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	if _, isPtr := obj.Type().(*types.Pointer); !isPtr {
+		return false
+	}
+	return lintutil.NamedTypeIs(obj.Type(), packetPkg, "Packet")
+}
+
+// addPos inserts pos into the sorted, deduplicated position list.
+func addPos(ps []token.Pos, pos token.Pos) []token.Pos {
+	i := sort.Search(len(ps), func(i int) bool { return ps[i] >= pos })
+	if i < len(ps) && ps[i] == pos {
+		return ps
+	}
+	out := make([]token.Pos, 0, len(ps)+1)
+	out = append(out, ps[:i]...)
+	out = append(out, pos)
+	return append(out, ps[i:]...)
+}
+
+// joinState merges two block-input states as a may-analysis: a
+// variable is freed if freed on either path (earliest release position
+// wins, deterministically), and pending schedules union.
+func joinState(a, b state) state {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := a.clone()
+	for k, bv := range b {
+		av, ok := out[k]
 		if !ok {
-			return
+			out[k] = bv
+			continue
 		}
-		for _, lhs := range as.Lhs {
-			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
-				if obj := lintutil.ObjectOf(info, id); obj != nil {
-					out = append(out, rebind{obj, id})
-				}
-			}
+		if bv.freedAt != token.NoPos && (av.freedAt == token.NoPos || bv.freedAt < av.freedAt) {
+			av.freedAt = bv.freedAt
 		}
-	})
+		for _, p := range bv.scheds {
+			av.scheds = addPos(av.scheds, p)
+		}
+		out[k] = av
+	}
 	return out
 }
 
-// nextRebind returns the position of the first rebinding of obj at or
-// after pos, or token.Pos max if none.
-func nextRebind(rebinds []rebind, obj types.Object, pos token.Pos) token.Pos {
-	limit := token.Pos(1 << 30)
-	for _, r := range rebinds {
-		if r.obj == obj && r.id.Pos() >= pos && r.id.Pos() < limit {
-			limit = r.id.Pos()
-		}
+func equalState(a, b state) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return limit
-}
-
-// reboundBetween reports whether obj is reassigned in (lo, hi).
-func reboundBetween(rebinds []rebind, obj types.Object, lo, hi token.Pos) bool {
-	for _, r := range rebinds {
-		if r.obj == obj && r.id.Pos() > lo && r.id.Pos() < hi {
-			return true
-		}
+	if a == nil || b == nil {
+		return a == nil && b == nil
 	}
-	return false
-}
-
-// isRebindLHS reports whether the identifier is the LHS of a recorded
-// assignment (writing a fresh value into the variable is not a use of
-// the freed packet).
-func isRebindLHS(rebinds []rebind, id *ast.Ident) bool {
-	for _, r := range rebinds {
-		if r.id == id {
-			return true
-		}
-	}
-	return false
-}
-
-// inspectShallow walks n but does not descend into nested function
-// literals: a closure body runs at a different time, so source order
-// against the enclosing function is not an execution order.
-func inspectShallow(n ast.Node, fn func(ast.Node)) {
-	ast.Inspect(n, func(c ast.Node) bool {
-		if _, ok := c.(*ast.FuncLit); ok {
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || av.freedAt != bv.freedAt || len(av.scheds) != len(bv.scheds) {
 			return false
 		}
-		if c != nil {
-			fn(c)
+		for i := range av.scheds {
+			if av.scheds[i] != bv.scheds[i] {
+				return false
+			}
 		}
-		return true
-	})
+	}
+	return true
 }

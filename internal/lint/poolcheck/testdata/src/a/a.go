@@ -63,3 +63,42 @@ func scheduleFresh(eng *sim.Engine, pool *packet.Pool, deliver sim.ArgHandler) {
 	p = pool.Get()
 	eng.ScheduleArg(sim.Nanosecond, deliver, p)
 }
+
+// Good: the Put and the use are on mutually exclusive paths — the
+// else branch never sees the released packet.
+func branchIsolated(pool *packet.Pool, drop bool) uint64 {
+	p := pool.Get()
+	if drop {
+		pool.Put(p)
+		return 0
+	}
+	return p.Addr
+}
+
+// Bad: the branches rejoin, so the use after the if observes the
+// released packet whenever drop was taken.
+func putThenJoin(pool *packet.Pool, drop bool) uint64 {
+	p := pool.Get()
+	if drop {
+		pool.Put(p)
+	}
+	return p.Addr // want `use of packet p after it was released to the pool`
+}
+
+// Bad: the Put at the bottom of the loop body reaches the read at the
+// top of the next iteration across the back edge.
+func loopCarried(pool *packet.Pool, n int) {
+	p := pool.Get()
+	for i := 0; i < n; i++ {
+		p.Addr = uint64(i) // want `use of packet p after it was released to the pool`
+		pool.Put(p) // want `use of packet p after it was released to the pool`
+	}
+}
+
+// Bad: the deferred Put runs at function exit, after the explicit Put
+// already released the packet — a double free the defer hides.
+func deferDoubleFree(pool *packet.Pool) {
+	p := pool.Get()
+	defer pool.Put(p) // want `use of packet p after it was released to the pool`
+	pool.Put(p)
+}

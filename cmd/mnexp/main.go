@@ -48,10 +48,16 @@ func main() {
 		mergeStr = flag.String("merge", "", "comma-separated shard cache directories to merge into -cache before generating tables")
 		maniOut  = flag.String("manifest", "", "also write the campaign manifest JSON to this file")
 		shards   = flag.Int("shards", 0, "worker goroutines fanning out independent simulation runs; tables are identical for every value (0 = sequential)")
+		spansOut = flag.String("spans-out", "", "write causal spans from every simulated run as one NDJSON file (one block per run, sorted by run key; byte-identical for every -shards value); bypasses -cache")
+		spanSamp = flag.Uint64("span-sample", 0, "span sampling stride per run (default 32 when -spans-out is set)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *spansOut != "" && *shardStr != "" {
+		fatal(fmt.Errorf("-spans-out is not supported with -shard (shard campaigns only fill the cache)"))
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -95,6 +101,17 @@ func main() {
 	var counter campaign.Counter
 	if store != nil {
 		runner.Sim = campaign.CachedSim(store, nil, &counter)
+	}
+	var spanCol *spanCollector
+	if *spansOut != "" {
+		stride := *spanSamp
+		if stride == 0 {
+			stride = 32
+		}
+		// Span-traced runs are never cacheable, so the collector replaces
+		// any cache backend outright.
+		spanCol = newSpanCollector(stride)
+		runner.Sim = spanCol.sim
 	}
 
 	type exp struct {
@@ -147,6 +164,12 @@ func main() {
 	if store != nil {
 		fmt.Fprintf(os.Stderr, "mnexp: cache %s: %d hits, %d simulated\n",
 			store.Dir(), counter.Hits(), counter.Misses())
+	}
+	if spanCol != nil {
+		if err := spanCol.writeFile(*spansOut); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *spansOut)
 	}
 
 	manifestPaths := []string{}

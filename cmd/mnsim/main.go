@@ -53,12 +53,16 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
 		reportJSON = flag.Bool("report-json", false, "print the run record (per-node report, results, config) as manifest-schema JSON")
-		metricsOut = flag.String("metrics-out", "", "write the run manifest JSON (config, seed, metrics, fairness) to this file; enables telemetry")
+		metricsOut = flag.String("metrics-out", "", "write the run manifest JSON (config, seed, metrics, fairness) to this file; enables telemetry (with -shards: the machine manifest with per-shard engine introspection)")
 		sampleIv   = flag.Duration("sample-interval", 0, "telemetry gauge-sampling interval in sim time (default 10us); enables telemetry")
 		perfOut    = flag.String("perfetto-out", "", "write packet lifecycles and sampled counters as Perfetto/Chrome trace JSON (implies -trace 4096 unless set); enables telemetry")
 		seriesOut  = flag.String("series-out", "", "write the sampled gauge time series as CSV; enables telemetry")
+		spansOut   = flag.String("spans-out", "", "write sampled causal spans as NDJSON (memnet/spans/v1) to this file; analyze with mntrace")
+		spanSample = flag.Uint64("span-sample", 0, "span sampling stride: record every Nth transaction (default 32 when -spans-out is set)")
 	)
 	flag.Parse()
+
+	check(machineFlagConflict(*shards, *spansOut, *perfOut, *seriesOut, *recordTo, *traceN, *sampleIv))
 
 	// With -report-json the manifest owns stdout; the human summary
 	// moves to stderr so the JSON stays pipeable.
@@ -115,6 +119,13 @@ func main() {
 			cfg.TraceDepth = 4096
 		}
 	}
+	if *spansOut != "" || *spanSample > 0 {
+		stride := *spanSample
+		if stride == 0 {
+			stride = 32
+		}
+		cfg.Spans = &memnet.SpanConfig{SampleStride: stride}
+	}
 	if *replayFrm != "" {
 		f, err := os.Open(*replayFrm)
 		check(err)
@@ -126,6 +137,9 @@ func main() {
 
 	if *shards > 0 {
 		cfg.Shards = *shards
+		// The per-port sampler has no cross-port merge; the machine
+		// manifest below carries the parallel engine's own introspection.
+		cfg.Telemetry = nil
 		mr, err := memnet.RunMachine(cfg)
 		check(err)
 		// The worker count is deliberately absent from the report: output
@@ -145,6 +159,15 @@ func main() {
 				fmt.Fprintf(status, "port %-2d       finish %v  latency %v  txns %d  events %d\n",
 					i, r.FinishTime, r.MeanLatency, r.Transactions, r.Events)
 			}
+		}
+		if *metricsOut != "" {
+			m, err := memnet.MachineManifest(cfg, mr)
+			check(err)
+			f, err := os.Create(*metricsOut)
+			check(err)
+			check(m.Encode(f))
+			check(f.Close())
+			fmt.Fprintf(status, "manifest      wrote %s\n", *metricsOut)
 		}
 		return
 	}
@@ -202,10 +225,21 @@ func main() {
 		check(f.Close())
 		fmt.Fprintf(status, "series        wrote %d samples to %s\n", sampler.Samples(), *seriesOut)
 	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		check(err)
+		check(in.WriteSpans(f))
+		check(f.Close())
+		fmt.Fprintf(status, "spans         wrote %d spans to %s\n", len(in.Spans.Spans()), *spansOut)
+	}
 	if *perfOut != "" {
 		f, err := os.Create(*perfOut)
 		check(err)
-		check(memnet.WritePerfetto(f, in.Trace, sampler))
+		if in.Spans != nil {
+			check(memnet.WritePerfettoSpans(f, in.Trace, sampler, in.Spans.Spans()))
+		} else {
+			check(memnet.WritePerfetto(f, in.Trace, sampler))
+		}
 		check(f.Close())
 		fmt.Fprintf(status, "perfetto      wrote %s (open in https://ui.perfetto.dev)\n", *perfOut)
 	}
@@ -219,6 +253,38 @@ func main() {
 			toF*100, inF*100, fromF*100)
 		fmt.Fprintf(status, "\nper-node report (port 0's network):\n%s", in.ReportText())
 	}
+}
+
+// machineFlagConflict rejects per-port side-artifact flags combined
+// with -shards (a whole-machine run), mirroring core.RunMachine's own
+// rejection of trace and telemetry parameters: spans, Perfetto traces,
+// sampled series, recorded traces, and lifecycle traces are all
+// single-network artifacts with no defined cross-port merge, so the
+// combination fails fast with a pointed message instead of surfacing a
+// core error after configuration.
+func machineFlagConflict(shards int, spansOut, perfOut, seriesOut, recordTo string,
+	traceN int, sampleIv time.Duration) error {
+	if shards <= 0 {
+		return nil
+	}
+	conflict := ""
+	switch {
+	case spansOut != "":
+		conflict = "-spans-out"
+	case perfOut != "":
+		conflict = "-perfetto-out"
+	case seriesOut != "":
+		conflict = "-series-out"
+	case sampleIv > 0:
+		conflict = "-sample-interval"
+	case recordTo != "":
+		conflict = "-record-trace"
+	case traceN > 0:
+		conflict = "-trace"
+	default:
+		return nil
+	}
+	return fmt.Errorf("%s needs a single-port run: machine runs (-shards > 0) have no cross-port merge for per-port artifacts; drop -shards or %s", conflict, conflict)
 }
 
 func parseTopology(s string) (memnet.Topology, error) {

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMachineFlagConflict pins the -shards flag validation: every
+// per-port side-artifact flag is rejected for machine runs with a
+// message naming the offending flag, while plain and manifest-writing
+// machine runs pass.
+func TestMachineFlagConflict(t *testing.T) {
+	cases := []struct {
+		name                              string
+		shards, traceN                    int
+		spansOut, perfOut, series, record string
+		sampleIv                          time.Duration
+		wantFlag                          string
+	}{
+		{name: "no-shards-anything-goes", shards: 0, spansOut: "s.ndjson", perfOut: "p.json", traceN: 8},
+		{name: "machine-plain", shards: 4},
+		{name: "machine-spans", shards: 2, spansOut: "s.ndjson", wantFlag: "-spans-out"},
+		{name: "machine-perfetto", shards: 2, perfOut: "p.json", wantFlag: "-perfetto-out"},
+		{name: "machine-series", shards: 2, series: "s.csv", wantFlag: "-series-out"},
+		{name: "machine-sample-interval", shards: 2, sampleIv: time.Microsecond, wantFlag: "-sample-interval"},
+		{name: "machine-record", shards: 2, record: "t.trace", wantFlag: "-record-trace"},
+		{name: "machine-trace", shards: 2, traceN: 16, wantFlag: "-trace"},
+		// Precedence: spans is reported first when several conflict.
+		{name: "machine-multi", shards: 2, spansOut: "s.ndjson", traceN: 16, wantFlag: "-spans-out"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := machineFlagConflict(tc.shards, tc.spansOut, tc.perfOut, tc.series,
+				tc.record, tc.traceN, tc.sampleIv)
+			if tc.wantFlag == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error naming %s, got nil", tc.wantFlag)
+			}
+			if !strings.Contains(err.Error(), tc.wantFlag) {
+				t.Fatalf("error %q does not name %s", err, tc.wantFlag)
+			}
+		})
+	}
+}

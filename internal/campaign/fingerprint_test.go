@@ -9,6 +9,7 @@ import (
 	"memnet/internal/fault"
 	"memnet/internal/migrate"
 	"memnet/internal/sim"
+	"memnet/internal/span"
 	"memnet/internal/topology"
 	"memnet/internal/workload"
 )
@@ -40,25 +41,25 @@ func TestFingerprintStable(t *testing.T) {
 func TestFingerprintSensitivity(t *testing.T) {
 	base := FingerprintParams(testParams())
 	mutations := map[string]func(*core.Params){
-		"topology":     func(p *core.Params) { p.Topo = topology.Ring },
-		"arbitration":  func(p *core.Params) { p.Arb++ },
-		"transactions": func(p *core.Params) { p.Transactions++ },
-		"seed":         func(p *core.Params) { p.Seed++ },
-		"workload":     func(p *core.Params) { p.Workload.MeanGap += sim.Nanosecond },
-		"ports":        func(p *core.Params) { p.Sys.Ports = 4 },
-		"dram-frac":    func(p *core.Params) { p.Sys.DRAMFraction = 0.5 },
-		"placement":    func(p *core.Params) { p.Sys.Placement = config.NVMFirst },
-		"capacity":     func(p *core.Params) { p.Sys.TotalCapacity /= 2 },
-		"banks":        func(p *core.Params) { p.Sys.BanksPerCube /= 2 },
-		"serdes":       func(p *core.Params) { p.Sys.SerDesLatency += sim.Nanosecond },
-		"nvm-timing":   func(p *core.Params) { p.Sys.NVMTiming.TWR += sim.Nanosecond },
-		"energy":       func(p *core.Params) { p.Sys.Energy.NVMWritePJPerBit++ },
-		"tuning":       func(p *core.Params) { p.Tuning.WavefrontSize++ },
-		"keepsamples":  func(p *core.Params) { p.KeepSamples = true },
-		"faillinks":    func(p *core.Params) { p.FailLinks = []int{2} },
-		"migration":    func(p *core.Params) { c := migrate.DefaultConfig(); p.Migration = &c },
+		"topology":          func(p *core.Params) { p.Topo = topology.Ring },
+		"arbitration":       func(p *core.Params) { p.Arb++ },
+		"transactions":      func(p *core.Params) { p.Transactions++ },
+		"seed":              func(p *core.Params) { p.Seed++ },
+		"workload":          func(p *core.Params) { p.Workload.MeanGap += sim.Nanosecond },
+		"ports":             func(p *core.Params) { p.Sys.Ports = 4 },
+		"dram-frac":         func(p *core.Params) { p.Sys.DRAMFraction = 0.5 },
+		"placement":         func(p *core.Params) { p.Sys.Placement = config.NVMFirst },
+		"capacity":          func(p *core.Params) { p.Sys.TotalCapacity /= 2 },
+		"banks":             func(p *core.Params) { p.Sys.BanksPerCube /= 2 },
+		"serdes":            func(p *core.Params) { p.Sys.SerDesLatency += sim.Nanosecond },
+		"nvm-timing":        func(p *core.Params) { p.Sys.NVMTiming.TWR += sim.Nanosecond },
+		"energy":            func(p *core.Params) { p.Sys.Energy.NVMWritePJPerBit++ },
+		"tuning":            func(p *core.Params) { p.Tuning.WavefrontSize++ },
+		"keepsamples":       func(p *core.Params) { p.KeepSamples = true },
+		"faillinks":         func(p *core.Params) { p.FailLinks = []int{2} },
+		"migration":         func(p *core.Params) { c := migrate.DefaultConfig(); p.Migration = &c },
 		"fault-nil-vs-zero": func(p *core.Params) { p.Fault = &fault.Config{} },
-		"fault-ber":        func(p *core.Params) { p.Fault = &fault.Config{LinkBER: 1e-6} },
+		"fault-ber":         func(p *core.Params) { p.Fault = &fault.Config{LinkBER: 1e-6} },
 		"fault-kill": func(p *core.Params) {
 			p.Fault = &fault.Config{KillCubes: []fault.CubeKill{{Node: 3, At: sim.Microsecond}}}
 		},
@@ -102,7 +103,9 @@ func TestCacheable(t *testing.T) {
 	rec.Record = true
 	tr := p
 	tr.TraceDepth = 8
-	for name, q := range map[string]core.Params{"replay": rp, "record": rec, "trace": tr} {
+	sp := p
+	sp.Spans = &span.Config{SampleStride: 4}
+	for name, q := range map[string]core.Params{"replay": rp, "record": rec, "trace": tr, "spans": sp} {
 		if Cacheable(q) {
 			t.Errorf("%s run must not be cacheable", name)
 		}
@@ -123,7 +126,7 @@ func TestFingerprintCoverage(t *testing.T) {
 		{core.Params{}, []string{
 			"Sys", "Topo", "Arb", "Workload", "Transactions", "Seed",
 			"KeepSamples", "Replay", "Record", "TraceDepth", "Migration",
-			"FailLinks", "Fault", "Obs", "Tuning",
+			"FailLinks", "Fault", "Obs", "Spans", "Tuning",
 		}},
 		{config.System{}, []string{
 			"Ports", "TotalCapacity", "DRAMCubeCapacity", "NVMCubeCapacity",

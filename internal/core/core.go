@@ -29,6 +29,7 @@ import (
 	"memnet/internal/packet"
 	"memnet/internal/router"
 	"memnet/internal/sim"
+	"memnet/internal/span"
 	"memnet/internal/stats"
 	"memnet/internal/topology"
 	"memnet/internal/trace"
@@ -146,7 +147,13 @@ type Params struct {
 	// exporters behind Instance.Telemetry and Instance.Manifest.
 	// Telemetry never changes what the simulation does: Results are
 	// bit-identical with Obs enabled and disabled.
-	Obs    *obs.Config
+	Obs *obs.Config
+	// Spans, when non-nil, arms causal span tracing (internal/span):
+	// one latency-decomposition span tree per sampled transaction,
+	// collected through nil-checked hooks at existing event boundaries.
+	// Like Obs, it never changes what the simulation does: Results are
+	// bit-identical with Spans enabled and disabled.
+	Spans  *span.Config
 	Tuning Tuning
 }
 
@@ -183,6 +190,10 @@ type Instance struct {
 
 	// Telemetry is non-nil when Params.Obs armed the metrics layer.
 	Telemetry *Telemetry
+
+	// Spans is non-nil when Params.Spans armed causal span tracing; its
+	// completed spans are exported with Instance.WriteSpans.
+	Spans *span.Recorder
 
 	routers   map[packet.NodeID]*router.Router
 	quadrants map[packet.NodeID][]*vault.Quadrant
@@ -310,7 +321,12 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 	if p.TraceDepth > 0 {
 		tlog = trace.NewLog(p.TraceDepth)
 	}
-	tap := func(fn func(*packet.Packet), op trace.Op, node packet.NodeID) func(*packet.Packet) {
+	// tap wraps a deliver callback with trace recording. port is the
+	// receiving component's input index (router port for Arrive/MemDone,
+	// quadrant index for MemStart, -1 at the single-ported host); it is
+	// passed explicitly because the tap fires before the wrapped deliver
+	// stamps pk.EnterPort.
+	tap := func(fn func(*packet.Packet), op trace.Op, node packet.NodeID, port int8) func(*packet.Packet) {
 		if tlog == nil {
 			return fn
 		}
@@ -318,9 +334,36 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 			tlog.Record(trace.Event{
 				At: eng.Now(), Op: op, Node: node,
 				ID: pk.ID, Kind: pk.Kind, Addr: pk.Addr,
+				Port: port, VC: packet.VCOf(pk.Kind),
 			})
 			fn(pk)
 		}
+	}
+
+	// Span recorder and its hook binders. Hooks are bound inline at the
+	// wiring sites below (the tap idiom): each reads timestamps the
+	// components already compute and never schedules events, so Results
+	// stay bit-identical with spans on. spanNode/bindShip build every
+	// edge label once at wiring time; the hot path only copies the
+	// prebuilt string header into segments of sampled transactions.
+	var spans *span.Recorder
+	if p.Spans.Enabled() {
+		spans = span.NewRecorder(*p.Spans, p.Seed)
+	}
+	spanNode := func(n packet.NodeID) string {
+		if n == packet.HostNode {
+			return "h"
+		}
+		return fmt.Sprintf("%d", n)
+	}
+	bindShip := func(d *link.Direction, label string) {
+		if spans == nil {
+			return
+		}
+		serdes := d.SerDes()
+		d.SetOnShip(func(pk *packet.Packet, enq, pop, start, end sim.Time) {
+			spans.Ship(pk, label, serdes, enq, pop, start, end)
+		})
 	}
 
 	inst := &Instance{
@@ -424,6 +467,7 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 				tlog.Record(trace.Event{
 					At: eng.Now(), Op: trace.Inject, Node: packet.HostNode,
 					ID: pk.ID, Kind: pk.Kind, Addr: pk.Addr,
+					Port: -1, VC: packet.VCOf(pk.Kind),
 				})
 			}
 		}(),
@@ -466,7 +510,14 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 		if n.Kind == topology.Iface {
 			xbar = p.Tuning.IfaceSwitchBandwidthBps
 		}
-		inst.routers[n.ID] = router.New(eng, n.ID, newPolicy(), xbar)
+		r := router.New(eng, n.ID, newPolicy(), xbar)
+		if spans != nil {
+			label := fmt.Sprintf("r%d", n.ID)
+			r.OnForward = func(pk *packet.Packet, port int, wait sim.Time) {
+				spans.Seg(pk, span.RouterArb, label, eng.Now()-wait, wait)
+			}
+		}
+		inst.routers[n.ID] = r
 	}
 
 	// Per-edge link direction pairs, attached in adjacency order so that
@@ -499,6 +550,11 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 			dirs[ei].ab.AttachFault(inst.faultCfg.LinkFault(ei, 0))
 			dirs[ei].ba.AttachFault(inst.faultCfg.LinkFault(ei, 1))
 		}
+		if spans != nil {
+			la, lb := spanNode(e.A), spanNode(e.B)
+			bindShip(dirs[ei].ab, la+">"+lb)
+			bindShip(dirs[ei].ba, lb+">"+la)
+		}
 	}
 	inst.dirs = dirs
 
@@ -518,7 +574,7 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 			}
 			buf := link.NewBuffer(p.Sys.LinkBufferPackets, in.ReturnCredit)
 			idx := r.AttachPort(buf, out)
-			in.SetDeliver(tap(r.Deliver(idx), trace.Arrive, n.ID))
+			in.SetDeliver(tap(r.Deliver(idx), trace.Arrive, n.ID, int8(idx)))
 		}
 	}
 
@@ -532,15 +588,21 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 		hostOut, hostIn = dirs[hostEdgeIdx].ba, dirs[hostEdgeIdx].ab
 	}
 	hostPort.Attach(hostOut)
+	if spans != nil {
+		hostPort.SetSpanHook(func(pk *packet.Packet, wait sim.Time) {
+			spans.Start(pk, eng.Now(), wait)
+		})
+	}
 	hostIn.SetDeliver(tap(func(pk *packet.Packet) {
 		vc := packet.VCOf(pk.Kind)
-		// Telemetry reads the response before Receive retires (and may
-		// pool) it; inst.Telemetry stays nil when Obs is off and the
-		// method no-ops on nil.
+		// Telemetry and spans read the response before Receive retires
+		// (and may pool) it; inst.Telemetry/inst.Spans stay nil when the
+		// layer is off and the methods no-op on nil.
 		inst.Telemetry.complete(pk, eng.Now())
+		inst.Spans.Complete(pk, eng.Now())
 		hostPort.Receive(pk)
 		hostIn.ReturnCredit(vc)
-	}, trace.Complete, packet.HostNode))
+	}, trace.Complete, packet.HostNode, -1))
 
 	// Vault quadrants behind every cube.
 	intLink := link.Config{
@@ -586,11 +648,19 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 			})
 			quadIn := link.NewBuffer(p.Tuning.VaultQueueDepth, toQuad.ReturnCredit)
 			q.Attach(quadIn, fromQuad)
-			toQuad.SetDeliver(tap(q.Deliver(), trace.MemStart, node))
+			toQuad.SetDeliver(tap(q.Deliver(), trace.MemStart, node, int8(qi)))
 
 			routerIn := link.NewBuffer(p.Tuning.VaultQueueDepth, fromQuad.ReturnCredit)
 			idx := r.AttachPort(routerIn, toQuad)
-			fromQuad.SetDeliver(tap(r.Deliver(idx), trace.MemDone, node))
+			fromQuad.SetDeliver(tap(r.Deliver(idx), trace.MemDone, node, int8(idx)))
+			if spans != nil {
+				bindShip(toQuad, fmt.Sprintf("%d>q%d", node, qi))
+				bindShip(fromQuad, fmt.Sprintf("q%d>%d", qi, node))
+				label := fmt.Sprintf("v%d.q%d", node, qi)
+				q.OnIssue = func(pk *packet.Packet, wait sim.Time) {
+					spans.VaultIssue(pk, label, eng.Now(), wait)
+				}
+			}
 			quads[qi] = q
 		}
 		inst.quadrants[n.ID] = quads
@@ -626,6 +696,7 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 	}
 
 	inst.Trace = tlog
+	inst.Spans = spans
 
 	// Arm the resilience machinery last so a disabled Fault config adds
 	// zero events and the golden determinism fingerprints stay intact.

@@ -27,6 +27,44 @@ type MachineParams struct {
 	Shards int
 }
 
+// ShardLoad is one port shard's parallel-engine introspection record:
+// how much work the shard did, how it interacted with the cross-shard
+// machinery, and how long it idled at the final barrier. JSON tags match
+// the run-manifest schema's machine.shards entries.
+type ShardLoad struct {
+	// Shard is the shard index (= host port for machine runs).
+	Shard int `json:"shard"`
+	// Events counts events fired on the shard's engine.
+	Events uint64 `json:"events"`
+	// Posts counts cross-shard events the shard sent.
+	Posts uint64 `json:"posts"`
+	// Merged counts cross-shard events drained into the shard.
+	Merged uint64 `json:"merged"`
+	// MaxInbox is the peak cross-shard inbox depth.
+	MaxInbox int `json:"max_inbox"`
+	// FinishPs is the shard engine's final clock, in picoseconds.
+	FinishPs int64 `json:"finish_ps"`
+	// BarrierWaitPs is how long the shard idled at the final barrier:
+	// the machine finish time minus the shard's own finish time.
+	BarrierWaitPs int64 `json:"barrier_wait_ps"`
+	// LookaheadSlack is the shard's post-slack histogram (see
+	// sim.SlackHist); all-zero when the partition has no boundary
+	// channels.
+	LookaheadSlack sim.SlackHist `json:"lookahead_slack"`
+}
+
+// MachineRecord is the manifest's parallel-engine introspection block.
+type MachineRecord struct {
+	// Ports is the number of host ports (= shards).
+	Ports int `json:"ports"`
+	// Windows counts synchronization windows the engine executed.
+	Windows uint64 `json:"windows"`
+	// EventsPerWindow is total events over windows.
+	EventsPerWindow float64 `json:"events_per_window"`
+	// Shards holds the per-shard load records, in shard order.
+	Shards []ShardLoad `json:"shards"`
+}
+
 // MachineResults aggregates a whole-machine run.
 type MachineResults struct {
 	// PerPort holds each port's full Results, index = port = shard ID.
@@ -48,6 +86,10 @@ type MachineResults struct {
 	// every port finishes together, lower when load or faults skew one
 	// port's completion.
 	Fairness float64
+	// Windows counts the parallel engine's synchronization windows.
+	Windows uint64
+	// Shards holds the per-shard engine introspection, in shard order.
+	Shards []ShardLoad
 }
 
 // RunMachine builds one per-port simulation per host port, places each
@@ -63,6 +105,9 @@ func RunMachine(mp MachineParams) (MachineResults, error) {
 	}
 	if base.Obs.On() {
 		return MachineResults{}, fmt.Errorf("core: machine runs do not support telemetry yet (per-shard probe merge is per-port; use single-port runs)")
+	}
+	if base.Spans.Enabled() {
+		return MachineResults{}, fmt.Errorf("core: machine runs do not support span tracing (per-port span files would need a merge policy; use single-port runs)")
 	}
 	if err := base.Sys.Validate(); err != nil {
 		return MachineResults{}, err
@@ -134,5 +179,41 @@ func RunMachine(mp MachineParams) (MachineResults, error) {
 		mr.MeanHops = hopW / float64(mr.Transactions)
 	}
 	mr.Fairness = obs.Jain(finish)
+	mr.Windows = par.Windows()
+	for i, st := range par.ShardStats() {
+		mr.Shards = append(mr.Shards, ShardLoad{
+			Shard:          i,
+			Events:         st.Events,
+			Posts:          st.Posts,
+			Merged:         st.Merged,
+			MaxInbox:       st.MaxInbox,
+			FinishPs:       int64(results[i].FinishTime),
+			BarrierWaitPs:  int64(mr.FinishTime - results[i].FinishTime),
+			LookaheadSlack: st.Slack,
+		})
+	}
 	return mr, nil
+}
+
+// MachineManifest assembles the run manifest for a whole-machine run:
+// reproduction inputs, the aggregate results, and the parallel-engine
+// introspection record (per-shard load, barrier waits, lookahead-slack
+// histograms, events-per-window).
+func MachineManifest(mp MachineParams, mr MachineResults) *obs.Manifest {
+	m := obs.NewManifest()
+	m.Label = mp.Base.Label()
+	m.Seed = int64(mp.Base.Seed)
+	m.Workload = mp.Base.Workload.Name
+	m.Config = mp.Base.Sys
+	m.Results = mr
+	rec := MachineRecord{
+		Ports:   len(mr.Shards),
+		Windows: mr.Windows,
+		Shards:  mr.Shards,
+	}
+	if mr.Windows > 0 {
+		rec.EventsPerWindow = float64(mr.Events) / float64(mr.Windows)
+	}
+	m.Machine = rec
+	return m
 }

@@ -225,6 +225,9 @@ func (in *Instance) Manifest(res Results) *obs.Manifest {
 	m.Nodes = in.Report()
 	if in.Params.Fault.Enabled() {
 		m.Fault = res.Fault
+		if tl := in.timeline(); tl != nil {
+			m.Timeline = tl
+		}
 	}
 	if t := in.Telemetry; t != nil {
 		m.Metrics = t.Registry.Dump()

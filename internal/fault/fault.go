@@ -254,6 +254,25 @@ const (
 	EvLaneRepair
 )
 
+// String names the event kind, snake_case, for timelines and logs.
+func (k EventKind) String() string {
+	switch k {
+	case EvKillLink:
+		return "kill_link"
+	case EvKillCube:
+		return "kill_cube"
+	case EvLaneFail:
+		return "lane_fail"
+	case EvRepairLink:
+		return "repair_link"
+	case EvRepairCube:
+		return "repair_cube"
+	case EvLaneRepair:
+		return "lane_repair"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
 // Event is one scheduled fault or repair, in the merged time-ordered
 // schedule.
 type Event struct {

@@ -110,6 +110,11 @@ type Port struct {
 	timerFn  sim.Handler
 	retireFn sim.ArgHandler
 
+	// spanHook, if set (SetSpanHook), observes every injection with the
+	// time the transaction waited for a window slot, coherence release,
+	// and injection credits — the span tracer's host.window source.
+	spanHook func(pk *packet.Packet, wait sim.Time)
+
 	// Coherence ordering point state.
 	pendingWrites map[uint64]int
 	parkedReads   map[uint64][]parked
@@ -182,6 +187,12 @@ func (p *Port) Attach(out *link.Direction) {
 	p.out = out
 	out.SetOnSpace(func(packet.VC) { p.Kick() })
 }
+
+// SetSpanHook wires the span tracer's injection observer: fn sees every
+// packet right after its header is built, with the window/coherence/
+// credit wait that preceded injection. Call before the run starts; a
+// nil fn disables the hook.
+func (p *Port) SetSpanHook(fn func(pk *packet.Packet, wait sim.Time)) { p.spanHook = fn }
 
 // Receive is the arrival callback for the root-cube-to-host direction;
 // the host consumes responses immediately (its receive buffering is
@@ -379,12 +390,16 @@ func (p *Port) inject(tx workload.Tx, arrive sim.Time) {
 		Addr:         physAddr,
 		Logical:      tx.Addr,
 		Distance:     p.wire.DistOf(dst, class),
+		EnterPort:    -1, // no router ingress yet
 		Injected:     now,
 		ReadModWrite: tx.RMW,
 		Class:        uint8(class),
 	}
 	p.inflight++
 	p.injected++
+	if p.spanHook != nil {
+		p.spanHook(pk, now-arrive)
+	}
 	if p.cfg.OnInject != nil {
 		p.cfg.OnInject(pk)
 	}

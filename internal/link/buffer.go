@@ -56,6 +56,16 @@ func (b *Buffer) Head(vc packet.VC) *packet.Packet {
 // Len reports the occupancy of the vc FIFO.
 func (b *Buffer) Len(vc packet.VC) int { return len(b.fifo[vc]) }
 
+// HeadSince reports when the head packet of vc arrived. It lets an
+// observer attribute per-packet arbitration wait before Pop folds the
+// residency into the aggregate counters. Panics if the FIFO is empty.
+func (b *Buffer) HeadSince(vc packet.VC) sim.Time {
+	if len(b.fifo[vc]) == 0 {
+		panic("link: HeadSince on empty input buffer")
+	}
+	return b.fifo[vc][0].at
+}
+
 // Pop removes and returns the head of vc, returning one credit upstream.
 // It panics if the FIFO is empty.
 func (b *Buffer) Pop(vc packet.VC, now sim.Time) *packet.Packet {

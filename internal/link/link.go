@@ -161,6 +161,12 @@ type Direction struct {
 	// arrival lands at least SerDesLatency past the sender's clock.
 	crossPost func(at sim.Time, fn sim.ArgHandler, arg any)
 
+	// onShip, when set (SetOnShip), observes every transmission that
+	// will land: enq/pop bound the output-queue residence, start/end the
+	// final wire occupancy (start > pop only after CRC retries). The
+	// span tracer arms it; nil keeps the transmit path hook-free.
+	onShip func(p *packet.Packet, enq, pop, start, end sim.Time)
+
 	stats Stats
 }
 
@@ -178,6 +184,9 @@ type retryEntry struct {
 	bits     int
 	attempts int // transmissions so far
 	readyAt  sim.Time
+	// enq/pop carry the original queue residence bounds across retries
+	// so onShip can attribute the full traversal on final delivery.
+	enq, pop sim.Time
 }
 
 // New returns a Direction. deliver must be non-nil before the first Send.
@@ -226,6 +235,18 @@ func (d *Direction) SetCrossShard(post func(at sim.Time, fn sim.ArgHandler, arg 
 
 // SetOnSpace wires the output-queue-space callback.
 func (d *Direction) SetOnSpace(fn func(packet.VC)) { d.onSpace = fn }
+
+// SetOnShip wires the span tracer's transmission observer. fn fires
+// once per packet that will land at the receiver, with the timestamps
+// bounding its output-queue residence [enq,pop), retry-buffer residence
+// [pop,start), and wire occupancy [start,end); the packet lands at
+// end + SerDesLatency. A nil fn disables the hook.
+func (d *Direction) SetOnShip(fn func(p *packet.Packet, enq, pop, start, end sim.Time)) {
+	d.onShip = fn
+}
+
+// SerDes reports the direction's fixed per-traversal SerDes latency.
+func (d *Direction) SerDes() sim.Time { return d.cfg.SerDesLatency }
 
 // AttachFault arms CRC-failure injection on this direction. Call before
 // traffic flows; a nil model leaves the direction fault-free.
@@ -454,7 +475,7 @@ func (d *Direction) transmit(vc packet.VC) {
 		d.healedBits += uint64(bits)
 	}
 
-	d.finishTransmit(e.p, vc, 1, end, bits)
+	d.finishTransmit(e.p, vc, 1, end, bits, e.enqueued, now)
 
 	if d.onSpace != nil {
 		d.onSpace(vc)
@@ -467,7 +488,7 @@ func (d *Direction) transmit(vc packet.VC) {
 // retransmission becomes eligible only after the implicit-ack round
 // trip (two SerDes traversals) plus an exponential backoff that doubles
 // per consecutive error, capped at 64x.
-func (d *Direction) finishTransmit(p *packet.Packet, vc packet.VC, attempts int, end sim.Time, bits int) {
+func (d *Direction) finishTransmit(p *packet.Packet, vc packet.VC, attempts int, end sim.Time, bits int, enq, pop sim.Time) {
 	if d.flt != nil && d.flt.Corrupt(bits) {
 		d.stats.CRCErrors++
 		if d.flt.MaxRetries > 0 && attempts > d.flt.MaxRetries {
@@ -480,9 +501,15 @@ func (d *Direction) finishTransmit(p *packet.Packet, vc packet.VC, attempts int,
 			shift = 6
 		}
 		readyAt := end + 2*d.cfg.SerDesLatency + d.flt.Backoff<<shift
-		d.retryQ = append(d.retryQ, retryEntry{p: p, vc: vc, bits: bits, attempts: attempts, readyAt: readyAt})
+		d.retryQ = append(d.retryQ, retryEntry{p: p, vc: vc, bits: bits, attempts: attempts, readyAt: readyAt, enq: enq, pop: pop})
 		d.eng.At(readyAt, d.pumpFn)
 		return
+	}
+	if d.onShip != nil {
+		// The final wire occupancy started when the ending Reserve was
+		// taken — at the current instant for both fresh transmissions and
+		// retries (the wire was idle when either path reserved it).
+		d.onShip(p, enq, pop, d.eng.Now(), end)
 	}
 	// The transmission will land: its credit is now owed back by the
 	// receiver (CompleteRetrain subtracts these when re-arming credits).
@@ -511,7 +538,7 @@ func (d *Direction) sendRetry(now sim.Time) bool {
 		if d.stats.Retrains > 0 {
 			d.healedBits += uint64(r.bits)
 		}
-		d.finishTransmit(r.p, r.vc, r.attempts+1, end, r.bits)
+		d.finishTransmit(r.p, r.vc, r.attempts+1, end, r.bits, r.enq, r.pop)
 		return true
 	}
 	return false

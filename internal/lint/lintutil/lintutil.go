@@ -17,7 +17,7 @@ import (
 // wall-clock time and unordered iteration freely.
 var simPackages = []string{
 	"sim", "core", "link", "router", "vault", "host", "fault",
-	"arb", "topology", "mem", "migrate", "stats", "obs",
+	"arb", "topology", "mem", "migrate", "stats", "obs", "span",
 }
 
 // SimPackage reports whether the import path names simulation code:

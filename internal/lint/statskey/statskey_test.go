@@ -10,6 +10,7 @@ import (
 func TestStatskey(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), statskey.Analyzer,
 		"memnet/internal/vault/sk",
+		"memnet/internal/span/agg",
 		"memnet/internal/obs/reg",
 	)
 }

@@ -1,0 +1,40 @@
+// Package agg is a statskey fixture posing as span-recorder code: the
+// recorder's hot path must not build string keys or string-keyed
+// counters per event; aggregation maps belong in the one-shot analyzer
+// behind a coldpath annotation.
+package agg
+
+import "fmt"
+
+type seg struct {
+	loc string
+	dur int64
+}
+
+// Bad: accumulating per-location time under fmt-built keys on the
+// recording path.
+func badHotBlame(m map[string]int64, edge int, dur int64) {
+	m[fmt.Sprintf("%d>%d", edge, edge+1)] += dur // want `fmt-built map key in simulation package`
+}
+
+// Bad: a fresh string-keyed counter map per recorder.
+func badNewBlame() map[string]int64 {
+	return make(map[string]int64) // want `string-keyed counter map`
+}
+
+// Good: the recorder appends segments to a slice; no map on the hot
+// path at all.
+func goodRecord(segs []seg, loc string, dur int64) []seg {
+	return append(segs, seg{loc: loc, dur: dur})
+}
+
+// Good: the one-shot reporting aggregation, annotated as cold path (the
+// shape internal/span/analyze.go ships).
+func goodAnalyze(segs []seg) map[string]int {
+	//lint:coldpath one-shot reporting aggregation, not a per-event path
+	byLoc := make(map[string]int)
+	for i := range segs {
+		byLoc[segs[i].loc]++
+	}
+	return byLoc
+}

@@ -1,0 +1,29 @@
+// Package rec is a wallclock fixture posing as span-recorder code:
+// segment timestamps and durations must come from the simulated clock
+// carried into the hook, never from the host clock.
+package rec
+
+import "time"
+
+type simTime int64
+
+type seg struct {
+	at, dur simTime
+}
+
+// Bad: stamping a segment with the host clock would make span files
+// differ between machines and reruns.
+func badSegStamp() time.Time {
+	return time.Now() // want `wall-clock time\.Now in simulation package`
+}
+
+// Bad: measuring a queue residence with host-clock deltas.
+func badResidence(enq time.Time) time.Duration {
+	return time.Since(enq) // want `wall-clock time\.Since in simulation package`
+}
+
+// Good: the shipped shape — every segment is arithmetic over simulated
+// timestamps the event boundary already had.
+func goodSeg(enq, pop simTime) seg {
+	return seg{at: enq, dur: pop - enq}
+}

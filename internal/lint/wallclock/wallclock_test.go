@@ -11,6 +11,7 @@ func TestWallclock(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), wallclock.Analyzer,
 		"memnet/internal/core/wc",
 		"memnet/internal/link/retrain",
+		"memnet/internal/span/rec",
 		"memnet/internal/prof/ok",
 	)
 }

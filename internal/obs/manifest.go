@@ -39,6 +39,13 @@ type Manifest struct {
 	Nodes any `json:"nodes,omitempty"`
 	// Fault is the caller-typed fault-counter record.
 	Fault any `json:"fault,omitempty"`
+	// Timeline is the caller-typed recovery timeline: scheduled fault and
+	// repair events with retrain windows and per-direction healed bits.
+	Timeline any `json:"timeline,omitempty"`
+	// Machine is the caller-typed parallel-engine introspection record
+	// for per-machine runs: per-shard barrier wait, lookahead-slack
+	// histograms, cross-shard inbox depth, and events-per-window gauges.
+	Machine any `json:"machine,omitempty"`
 
 	// SampleIntervalPs is the sampler period in picoseconds (0 = off).
 	SampleIntervalPs int64 `json:"sample_interval_ps,omitempty"`

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"memnet/internal/sim"
+	"memnet/internal/span"
 	"memnet/internal/trace"
 )
 
@@ -29,9 +30,11 @@ type pfEvent struct {
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
 	Pid  int64          `json:"pid"`
 	Tid  int64          `json:"tid"`
 	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -39,10 +42,12 @@ type pfEvent struct {
 func tsOf(t sim.Time) float64 { return float64(t) / 1e6 }
 
 // packet-track process IDs: packets render under pid 1, counters under
-// pid 2, so the two groups stay separate in the UI.
+// pid 2, causal spans under pid 3, so the groups stay separate in the
+// UI.
 const (
 	pfPidPackets  = 1
 	pfPidCounters = 2
+	pfPidSpans    = 3
 )
 
 // phaseOf maps a lifecycle op to its async phase.
@@ -63,6 +68,21 @@ func phaseOf(op trace.Op) string {
 // ring's retention order), then counter rows tick by tick in gauge
 // registration order.
 func WritePerfetto(w io.Writer, log *trace.Log, s *Sampler) error {
+	return writePerfetto(w, log, s, nil)
+}
+
+// WritePerfettoSpans is WritePerfetto plus the sampled causal spans:
+// each transaction renders under the span process group as one
+// whole-lifetime slice on its own track with one nested "X" slice per
+// latency segment, and consecutive segments are linked by flow arrows
+// ("s"/"f" with bp:"e") so the critical path reads as a chain across
+// the waterfall. With nil spans the output is byte-identical to
+// WritePerfetto.
+func WritePerfettoSpans(w io.Writer, log *trace.Log, s *Sampler, spans []span.TxSpan) error {
+	return writePerfetto(w, log, s, spans)
+}
+
+func writePerfetto(w io.Writer, log *trace.Log, s *Sampler, spans []span.TxSpan) error {
 	bw := &errWriter{w: w}
 	bw.puts("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
 	first := true
@@ -112,6 +132,49 @@ func WritePerfetto(w io.Writer, log *trace.Log, s *Sampler) error {
 					Args: map[string]any{"value": s.series[i][row]},
 				})
 			}
+		}
+	}
+	for _, tx := range spans {
+		tid := int64(tx.ID)
+		emit(pfEvent{
+			Name: fmt.Sprintf("tx %d", tx.ID),
+			Cat:  "span",
+			Ph:   "X",
+			Ts:   tsOf(tx.Injected),
+			Dur:  tsOf(tx.Latency()),
+			Pid:  pfPidSpans,
+			Tid:  tid,
+			Args: map[string]any{
+				"kind": tx.Kind,
+				"addr": fmt.Sprintf("%#x", tx.Addr),
+				"dst":  int64(tx.Dst),
+			},
+		})
+		for k, sg := range tx.Segs {
+			emit(pfEvent{
+				Name: sg.Cause.String(),
+				Cat:  "span",
+				Ph:   "X",
+				Ts:   tsOf(sg.At),
+				Dur:  tsOf(sg.Dur),
+				Pid:  pfPidSpans,
+				Tid:  tid,
+				Args: map[string]any{"loc": sg.Loc, "vc": int64(sg.VC)},
+			})
+			if k == 0 {
+				continue
+			}
+			// Flow arrow from the previous segment's slice to this one.
+			flowID := fmt.Sprintf("%#x.%d", tx.ID, k)
+			prev := tx.Segs[k-1]
+			emit(pfEvent{
+				Name: "critical path", Cat: "span.flow", Ph: "s",
+				Ts: tsOf(prev.At), Pid: pfPidSpans, Tid: tid, ID: flowID,
+			})
+			emit(pfEvent{
+				Name: "critical path", Cat: "span.flow", Ph: "f", BP: "e",
+				Ts: tsOf(sg.At), Pid: pfPidSpans, Tid: tid, ID: flowID,
+			})
 		}
 	}
 	bw.puts("\n]}\n")

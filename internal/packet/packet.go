@@ -139,6 +139,13 @@ type Packet struct {
 	// flips mid-flight.
 	Class uint8
 
+	// SpanSlot links the packet to its in-flight span record when the
+	// transaction is sampled by the span tracer (internal/span): zero
+	// means unsampled, otherwise recorder slot index + 1. It survives
+	// MakeResponse so the return path keeps appending to the same span,
+	// and is cleared when the host overwrites the struct at injection.
+	SpanSlot int32
+
 	// Timestamps for latency decomposition (Fig. 5).
 	Injected     sim.Time // entered the network at Src
 	ArrivedMem   sim.Time // request arrived at destination cube

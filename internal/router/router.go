@@ -78,6 +78,12 @@ type Router struct {
 	// It exposes which sources actually win the crossbar — the raw
 	// signal behind the paper's parking-lot unfairness.
 	GrantCounts []uint64
+
+	// OnForward, when non-nil, observes every arbitration grant with the
+	// granted packet, its input port, and its input-buffer residence
+	// (arbitration wait plus crossbar contention). The span tracer arms
+	// it; nil keeps the drain loop hook-free.
+	OnForward func(p *packet.Packet, port int, wait sim.Time)
 }
 
 // New creates a router shell; ports are attached afterwards with
@@ -211,10 +217,17 @@ func (r *Router) drain(o int, vc packet.VC) bool {
 		pick := r.policy.Pick(o, vc, candidates, func(i int) *packet.Packet {
 			return r.in[i].Head(vc)
 		})
+		var since sim.Time
+		if r.OnForward != nil {
+			since = r.in[pick].HeadSince(vc)
+		}
 		p := r.in[pick].Pop(vc, r.eng.Now())
 		r.Forwarded[vc]++
 		if r.GrantCounts != nil {
 			r.GrantCounts[pick]++
+		}
+		if r.OnForward != nil {
+			r.OnForward(p, pick, r.eng.Now()-since)
 		}
 		if r.switchBps > 0 {
 			r.crossbar.Reserve(r.eng.Now(), sim.BitTime(p.Kind.Bits(), r.switchBps))

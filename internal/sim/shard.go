@@ -56,12 +56,73 @@ type Shard struct {
 	// postSeq counts this shard's outgoing posts; it is written only by
 	// the shard's own worker goroutine.
 	postSeq uint64
+	// slack histograms how far past the lookahead minimum this shard's
+	// posts land; like postSeq it is written only by the shard's own
+	// worker goroutine.
+	slack SlackHist
+	// merged counts cross-shard events drained into this shard; written
+	// only by the coordinator between windows.
+	merged uint64
 
 	// inbox collects cross-shard arrivals. Senders append under mu
 	// during a window; the coordinator alone drains it between windows
-	// (the window barrier orders the two phases).
-	mu    sync.Mutex
-	inbox []xevent
+	// (the window barrier orders the two phases). maxInbox tracks the
+	// peak depth, updated under the same mutex.
+	mu       sync.Mutex
+	inbox    []xevent
+	maxInbox int
+}
+
+// SlackBuckets is the size of a SlackHist.
+const SlackBuckets = 16
+
+// SlackHist is a power-of-two histogram of cross-shard post slack: how
+// far past the conservative minimum (sender clock + lookahead) each
+// posted event landed. Bucket 0 counts zero-slack posts (events right
+// at the horizon — the ones that bound the window); bucket i counts
+// slack in [2^(i-1), 2^i) picoseconds, with the last bucket absorbing
+// everything larger. A head-heavy histogram means the lookahead is the
+// binding constraint; a tail-heavy one means windows could be wider.
+type SlackHist [SlackBuckets]uint64
+
+// observe records one post's slack.
+func (h *SlackHist) observe(slack Time) {
+	b := 0
+	for slack > 0 && b < SlackBuckets-1 {
+		b++
+		slack >>= 1
+	}
+	h[b]++
+}
+
+// SlackBucketLabel names histogram bucket i ("0", "[1,2)", ... with the
+// final bucket open-ended).
+func SlackBucketLabel(i int) string {
+	switch {
+	case i == 0:
+		return "0"
+	case i == SlackBuckets-1:
+		return fmt.Sprintf("[%dps,inf)", 1<<(i-1))
+	default:
+		return fmt.Sprintf("[%dps,%dps)", 1<<(i-1), 1<<i)
+	}
+}
+
+// ShardStats is one shard's partitioned-engine introspection snapshot,
+// valid after Run returns (or between windows on the coordinator).
+type ShardStats struct {
+	// Events counts events fired on the shard's engine.
+	Events uint64
+	// Posts counts cross-shard events the shard sent.
+	Posts uint64
+	// Merged counts cross-shard events drained into the shard.
+	Merged uint64
+	// MaxInbox is the peak inbox depth observed while senders appended.
+	MaxInbox int
+	// Now is the shard engine's local clock at snapshot time.
+	Now Time
+	// Slack is the lookahead-slack histogram of the shard's posts.
+	Slack SlackHist
 }
 
 // ID returns the shard's index within its Parallel set.
@@ -115,17 +176,22 @@ func (s *Shard) post(dst ShardID, ev xevent) {
 	if la == Never {
 		panic(fmt.Sprintf("sim: post from shard %d to %d without a declared channel", s.id, dst))
 	}
-	if min := s.eng.Now() + la; ev.at < min {
+	min := s.eng.Now() + la
+	if ev.at < min {
 		panic(fmt.Sprintf(
 			"sim: post from shard %d at %v violates lookahead: event at %v < clock+lookahead %v",
 			s.id, s.eng.Now(), ev.at, min))
 	}
 	s.postSeq++
+	s.slack.observe(ev.at - min)
 	ev.src = s.id
 	ev.seq = s.postSeq
 	d := p.shards[dst]
 	d.mu.Lock()
 	d.inbox = append(d.inbox, ev)
+	if len(d.inbox) > d.maxInbox {
+		d.maxInbox = len(d.inbox)
+	}
 	d.mu.Unlock()
 }
 
@@ -156,7 +222,21 @@ func (s *Shard) drain() int {
 			s.eng.AtArg(ev.at, ev.afn, ev.arg)
 		}
 	}
+	s.merged += uint64(len(pending))
 	return len(pending)
+}
+
+// Stats snapshots the shard's introspection counters. Safe only between
+// windows or after Run returns (the same discipline as Engine access).
+func (s *Shard) Stats() ShardStats {
+	return ShardStats{
+		Events:   s.eng.Fired(),
+		Posts:    s.postSeq,
+		Merged:   s.merged,
+		MaxInbox: s.maxInbox,
+		Now:      s.eng.Now(),
+		Slack:    s.slack,
+	}
 }
 
 // defaultBody runs every pending event scheduled strictly before
@@ -240,6 +320,16 @@ func (p *Parallel) Shard(i int) *Shard { return p.shards[i] }
 // Windows reports how many synchronization windows Run executed, for
 // tests and benchmarks.
 func (p *Parallel) Windows() uint64 { return p.windows }
+
+// ShardStats snapshots every shard's introspection counters, indexed by
+// shard ID. Safe only after Run returns.
+func (p *Parallel) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = s.Stats()
+	}
+	return out
+}
 
 // Fired sums the event counts of every shard engine.
 func (p *Parallel) Fired() uint64 {

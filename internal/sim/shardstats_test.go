@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSlackHistBuckets pins the power-of-two bucketing: zero slack in
+// bucket 0, [2^(i-1), 2^i) in bucket i, everything huge in the last.
+func TestSlackHistBuckets(t *testing.T) {
+	var h SlackHist
+	cases := []struct {
+		slack Time
+		want  int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 13, 14}, {(1 << 14) - 1, 14}, {1 << 14, 15}, {1 << 40, 15},
+	}
+	for _, c := range cases {
+		before := h[c.want]
+		h.observe(c.slack)
+		if h[c.want] != before+1 {
+			t.Errorf("observe(%d) did not land in bucket %d: %v", c.slack, c.want, h)
+		}
+	}
+	var total uint64
+	for _, n := range h {
+		total += n
+	}
+	if total != uint64(len(cases)) {
+		t.Errorf("histogram holds %d observations, want %d", total, len(cases))
+	}
+}
+
+func TestSlackBucketLabels(t *testing.T) {
+	if got := SlackBucketLabel(0); got != "0" {
+		t.Errorf("bucket 0 label %q", got)
+	}
+	if got := SlackBucketLabel(3); got != "[4ps,8ps)" {
+		t.Errorf("bucket 3 label %q", got)
+	}
+	if got := SlackBucketLabel(SlackBuckets - 1); !strings.HasSuffix(got, "inf)") {
+		t.Errorf("last bucket label %q not open-ended", got)
+	}
+}
+
+// TestShardStatsIntrospection drives deterministic cross-shard traffic
+// and checks the counters: posts with known slacks land in the right
+// histogram buckets, the receiver's merged count matches, the peak
+// inbox depth is visible, and the snapshot is identical across worker
+// counts (the introspection is part of the deterministic surface).
+func TestShardStatsIntrospection(t *testing.T) {
+	const lookahead = Time(100)
+	run := func(workers int) []ShardStats {
+		par := NewParallel(2)
+		par.Connect(0, 1, lookahead)
+		s := par.Shard(0)
+		// Three posts from one event: slacks 0, 1, and 6 → buckets 0, 1, 3.
+		s.Engine().Schedule(10, func() {
+			now := s.Engine().Now()
+			s.Post(1, now+lookahead, func() {})
+			s.Post(1, now+lookahead+1, func() {})
+			s.Post(1, now+lookahead+6, func() {})
+		})
+		par.Run(workers)
+		return par.ShardStats()
+	}
+	st := run(1)
+	if len(st) != 2 {
+		t.Fatalf("got %d shard stats", len(st))
+	}
+	src, dst := st[0], st[1]
+	if src.Posts != 3 || src.Events != 1 {
+		t.Errorf("sender stats %+v, want 3 posts from 1 event", src)
+	}
+	if src.Slack[0] != 1 || src.Slack[1] != 1 || src.Slack[3] != 1 {
+		t.Errorf("sender slack histogram %v, want one each in buckets 0, 1, 3", src.Slack)
+	}
+	if dst.Merged != 3 || dst.Events != 3 {
+		t.Errorf("receiver stats %+v, want 3 merged, 3 fired", dst)
+	}
+	if dst.MaxInbox != 3 {
+		t.Errorf("receiver MaxInbox %d, want 3 (all posts in one window)", dst.MaxInbox)
+	}
+	if dst.Posts != 0 || dst.Merged != src.Posts {
+		t.Errorf("conservation violated: sender posted %d, receiver merged %d", src.Posts, dst.Merged)
+	}
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); !reflect.DeepEqual(got, st) {
+			t.Errorf("workers=%d shard stats %+v differ from sequential %+v", workers, got, st)
+		}
+	}
+}
+
+// TestShardStatsRing checks the counters on the existing randomized
+// ring workload: totals are conserved (every post is merged somewhere)
+// and stats agree between 1 and 4 workers.
+func TestShardStatsRing(t *testing.T) {
+	collect := func(workers int) []ShardStats {
+		r := newRingSim(4, 200, 60)
+		r.par.Run(workers)
+		return r.par.ShardStats()
+	}
+	seq := collect(1)
+	var posts, merged, events uint64
+	for _, st := range seq {
+		posts += st.Posts
+		merged += st.Merged
+		events += st.Events
+	}
+	if posts == 0 {
+		t.Fatal("ring workload never crossed a shard boundary")
+	}
+	if posts != merged {
+		t.Fatalf("conservation violated: %d posts, %d merged", posts, merged)
+	}
+	if events == 0 {
+		t.Fatal("no events fired")
+	}
+	if par := collect(4); !reflect.DeepEqual(par, seq) {
+		t.Errorf("parallel shard stats differ from sequential:\n 1: %+v\n 4: %+v", seq, par)
+	}
+}

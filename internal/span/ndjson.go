@@ -1,0 +1,136 @@
+// NDJSON encoding of span files: one header object on the first line
+// (schema, run identity, sampling parameters), then one TxSpan object
+// per line in completion order. Encoding uses encoding/json on fully
+// ordered structs, so identical runs produce byte-identical files.
+
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+)
+
+// Header is the first line of a span file.
+type Header struct {
+	// Schema is the format version string (Schema).
+	Schema string `json:"schema"`
+	// Label names the simulated system configuration.
+	Label string `json:"label,omitempty"`
+	// Workload names the trace or synthetic pattern driving the run.
+	Workload string `json:"workload,omitempty"`
+	// Seed is the run seed the sampling phase derives from.
+	Seed uint64 `json:"seed"`
+	// Stride is the effective transaction-ID sampling stride.
+	Stride uint64 `json:"stride"`
+	// Spans counts the TxSpan lines that follow.
+	Spans int `json:"spans"`
+	// Dropped counts sampled transactions lost to the MaxSpans cap.
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// segJSON is the wire form of Seg: the cause travels by name so span
+// files stay readable and stable across Cause renumbering.
+type segJSON struct {
+	Cause string `json:"c"`
+	Loc   string `json:"l"`
+	VC    uint8  `json:"vc"`
+	At    int64  `json:"at"`
+	Dur   int64  `json:"d"`
+}
+
+// MarshalJSON encodes the segment with its cause spelled by name.
+func (s Seg) MarshalJSON() ([]byte, error) {
+	return json.Marshal(segJSON{
+		Cause: s.Cause.String(), Loc: s.Loc, VC: uint8(s.VC),
+		At: int64(s.At), Dur: int64(s.Dur),
+	})
+}
+
+// UnmarshalJSON decodes a segment, rejecting unknown cause names.
+func (s *Seg) UnmarshalJSON(b []byte) error {
+	var w segJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	c, ok := CauseByName(w.Cause)
+	if !ok {
+		return fmt.Errorf("span: unknown cause %q", w.Cause)
+	}
+	*s = Seg{Cause: c, Loc: w.Loc, VC: packet.VC(w.VC), At: sim.Time(w.At), Dur: sim.Time(w.Dur)}
+	return nil
+}
+
+// Write emits the NDJSON span file: hdr (with Schema and Spans filled
+// in) followed by one line per span.
+func Write(w io.Writer, hdr Header, spans []TxSpan) error {
+	hdr.Schema = Schema
+	hdr.Spans = len(spans)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses an NDJSON span file. Files produced by concatenating
+// several runs (mnexp writes one block per simulated configuration) are
+// accepted: every header line starts a new block, the first header is
+// returned, and spans from all blocks are merged in file order.
+func Read(r io.Reader) (Header, []TxSpan, error) {
+	var (
+		hdr     Header
+		gotHdr  bool
+		spans   []TxSpan
+		scanner = bufio.NewScanner(r)
+	)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for scanner.Scan() {
+		line++
+		b := scanner.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var probe struct {
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(b, &probe); err != nil {
+			return hdr, nil, fmt.Errorf("span: line %d: %w", line, err)
+		}
+		if probe.Schema != "" {
+			if probe.Schema != Schema {
+				return hdr, nil, fmt.Errorf("span: line %d: unsupported schema %q (want %q)", line, probe.Schema, Schema)
+			}
+			if !gotHdr {
+				if err := json.Unmarshal(b, &hdr); err != nil {
+					return hdr, nil, fmt.Errorf("span: line %d: %w", line, err)
+				}
+				gotHdr = true
+			}
+			continue
+		}
+		var sp TxSpan
+		if err := json.Unmarshal(b, &sp); err != nil {
+			return hdr, nil, fmt.Errorf("span: line %d: %w", line, err)
+		}
+		spans = append(spans, sp)
+	}
+	if err := scanner.Err(); err != nil {
+		return hdr, nil, err
+	}
+	if !gotHdr {
+		return hdr, nil, fmt.Errorf("span: missing header line (schema %q)", Schema)
+	}
+	return hdr, spans, nil
+}

@@ -52,16 +52,27 @@ type Event struct {
 	At   sim.Time
 	Op   Op
 	Node packet.NodeID
+	// Port is the receiving component's input index: the router port for
+	// Arrive and MemDone, the quadrant index for MemStart, and -1 at the
+	// single-ported host (Inject, Complete).
+	Port int8
+	// VC is the virtual channel the packet travels on.
+	VC   packet.VC
 	ID   uint64
 	Kind packet.Kind
 	Addr uint64
 }
 
 // String renders one line, e.g.
-// "12.5ns arrive    node=3  ReadReq#42 addr=0x1f400".
+// "12.5ns arrive    node=3  port=1/vc0 ReadReq#42 addr=0x1f400";
+// hostside events (no input port) render port=-.
 func (e Event) String() string {
-	return fmt.Sprintf("%-10v %-9s node=%-3d %s#%d addr=%#x",
-		e.At, e.Op, e.Node, e.Kind, e.ID, e.Addr)
+	port := "-"
+	if e.Port >= 0 {
+		port = fmt.Sprintf("%d", e.Port)
+	}
+	return fmt.Sprintf("%-10v %-9s node=%-3d port=%s/vc%d %s#%d addr=%#x",
+		e.At, e.Op, e.Node, port, e.VC, e.Kind, e.ID, e.Addr)
 }
 
 // Log is a fixed-capacity ring of events. The zero value is unusable;

@@ -9,7 +9,8 @@ import (
 )
 
 func ev(at sim.Time, id uint64) Event {
-	return Event{At: at, Op: Arrive, Node: 3, ID: id, Kind: packet.ReadReq, Addr: 0x40}
+	return Event{At: at, Op: Arrive, Node: 3, Port: 1, VC: packet.VCRequest,
+		ID: id, Kind: packet.ReadReq, Addr: 0x40}
 }
 
 func TestRingEviction(t *testing.T) {
@@ -136,10 +137,17 @@ func TestStrings(t *testing.T) {
 	l := NewLog(2)
 	l.Record(ev(1500, 9))
 	s := l.String()
-	for _, want := range []string{"arrive", "node=3", "ReadReq#9", "0x40"} {
+	for _, want := range []string{"arrive", "node=3", "port=1/vc0", "ReadReq#9", "0x40"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("log string missing %q: %s", want, s)
 		}
+	}
+	// Host-side events carry no input port and render port=-.
+	l = NewLog(2)
+	l.Record(Event{At: 1, Op: Complete, Node: 0, Port: -1,
+		VC: packet.VCResponse, ID: 9, Kind: packet.ReadResp, Addr: 0x40})
+	if s := l.String(); !strings.Contains(s, "port=-/vc1") {
+		t.Errorf("host event port rendering: %s", s)
 	}
 }
 

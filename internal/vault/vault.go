@@ -69,6 +69,11 @@ type Quadrant struct {
 	pumpFn     sim.Handler
 	completeFn sim.ArgHandler
 	stats      Stats
+
+	// OnIssue, when non-nil, observes every bank issue with the request
+	// packet and its vault input-queue wait (arrival to issue). The span
+	// tracer arms it; nil keeps the issue path hook-free.
+	OnIssue func(p *packet.Packet, wait sim.Time)
 }
 
 // Config bundles quadrant construction parameters.
@@ -196,6 +201,9 @@ func (q *Quadrant) pump() {
 func (q *Quadrant) start(p *packet.Packet) {
 	now := q.eng.Now()
 	q.stats.QueueWait += now - p.ArrivedMem
+	if q.OnIssue != nil {
+		q.OnIssue(p, now-p.ArrivedMem)
+	}
 	start := now
 	if q.extPorts > 0 && int(p.EnterPort)%max(1, q.extPorts) != q.index%max(1, q.extPorts) {
 		// The request entered the cube through a link belonging to a

@@ -37,6 +37,7 @@ import (
 	"memnet/internal/obs"
 	"memnet/internal/packet"
 	"memnet/internal/sim"
+	"memnet/internal/span"
 	"memnet/internal/stats"
 	"memnet/internal/topology"
 	"memnet/internal/workload"
@@ -209,9 +210,23 @@ type TelemetryConfig = obs.Config
 // Instance.Manifest.
 type RunManifest = obs.Manifest
 
+// SpanConfig enables deterministic causal span tracing (internal/span):
+// every SampleStride-th transaction records a span tree decomposing its
+// end-to-end latency into host window wait, per-hop queue/retry/
+// serialization/SerDes and arbitration waits, and vault queue + service
+// time. Spans never perturb the simulation — Results are bit-identical
+// with tracing on or off — and are exported with Instance.WriteSpans
+// (NDJSON, schema memnet/spans/v1) or WritePerfettoSpans; cmd/mntrace
+// analyzes the NDJSON into latency waterfalls and per-edge blame.
+type SpanConfig = span.Config
+
 // WritePerfetto exports packet lifecycles (Instance.Trace) and sampled
 // gauge series as Chrome/Perfetto trace-event JSON.
 var WritePerfetto = obs.WritePerfetto
+
+// WritePerfettoSpans is WritePerfetto plus sampled causal spans as
+// nested per-transaction slices linked by flow arrows.
+var WritePerfettoSpans = obs.WritePerfettoSpans
 
 // ValidateManifestJSON checks a serialized manifest against the
 // embedded run-manifest schema.
@@ -269,6 +284,9 @@ type Config struct {
 	// Telemetry, when non-nil and enabled, arms the metrics registry and
 	// interval sampler (Instance.Telemetry).
 	Telemetry *TelemetryConfig
+	// Spans, when non-nil, arms causal span tracing (Instance.Spans /
+	// Instance.WriteSpans); see SpanConfig.
+	Spans *SpanConfig
 	// Tuning overrides the microarchitectural tuning (nil = defaults).
 	Tuning *Tuning
 	// Shards sets the worker-goroutine count for RunMachine's
@@ -340,6 +358,7 @@ func (c Config) params() (core.Params, error) {
 	p.Record = c.Record
 	p.TraceDepth = c.TraceDepth
 	p.Obs = c.Telemetry
+	p.Spans = c.Spans
 	if c.Tuning != nil {
 		p.Tuning = *c.Tuning
 	}
@@ -368,14 +387,26 @@ func Run(c Config) (Results, error) {
 // MachineResults aggregates a whole-machine run; see core.MachineResults.
 type MachineResults = core.MachineResults
 
+// MachineManifest assembles the run manifest for a whole-machine run,
+// including the parallel-engine introspection record.
+func MachineManifest(c Config, mr MachineResults) (*RunManifest, error) {
+	p, err := c.params()
+	if err != nil {
+		return nil, err
+	}
+	return core.MachineManifest(core.MachineParams{Base: p, Shards: c.Shards}, mr), nil
+}
+
 // RunMachine simulates the whole machine — one memory network per host
 // port (System.Ports of them, the paper's §2.3 partitioning) — on the
 // partitioned parallel engine, using Config.Shards worker goroutines.
 // Per-port workload seeds are derived from Config.Seed (port 0 keeps
 // it, so PerPort[0] equals Run of the same Config). Results are
-// bit-identical for every Shards value. Record, TraceDepth, and
-// Telemetry are rejected: their outputs have no defined cross-port
-// merge yet.
+// bit-identical for every Shards value. Record, TraceDepth, Telemetry,
+// and Spans are rejected: their outputs have no defined cross-port
+// merge yet. MachineResults carries the parallel engine's introspection
+// record (per-shard load, barrier waits, lookahead-slack histograms);
+// MachineManifest serializes it.
 func RunMachine(c Config) (MachineResults, error) {
 	p, err := c.params()
 	if err != nil {

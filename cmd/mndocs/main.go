@@ -7,8 +7,11 @@
 //
 // are rendered from machine-readable sources: "table:<id>" blocks from
 // the campaign manifest (results/experiments.json, written by mnexp),
-// "provenance" blocks from the manifest's options, and "flags:<cmd>"
-// blocks from the flag definitions parsed out of cmd/<cmd>/main.go.
+// "provenance" blocks from the manifest's options, "flags:<cmd>"
+// blocks from the flag definitions parsed out of cmd/<cmd>/main.go, and
+// the "scenario-format" block from the embedded scenario JSON schema
+// (internal/scenario/scenario.schema.json) — the SCENARIOS.md field
+// reference can therefore never disagree with what the loader accepts.
 //
 // -check regenerates every block in memory and exits nonzero if the
 // committed file differs (the CI docs-drift gate); -write rewrites the
@@ -18,7 +21,7 @@
 // Examples:
 //
 //	mndocs -check                    # CI: fail on drift
-//	mndocs -write                    # re-render EXPERIMENTS.md, README.md
+//	mndocs -write                    # re-render EXPERIMENTS.md, README.md, SCENARIOS.md
 //	mndocs -write -experiments results/experiments.json DOCS.md
 package main
 
@@ -56,6 +59,7 @@ func main() {
 		docs = []string{
 			filepath.Join(*repo, "EXPERIMENTS.md"),
 			filepath.Join(*repo, "README.md"),
+			filepath.Join(*repo, "SCENARIOS.md"),
 		}
 	}
 
@@ -165,6 +169,8 @@ func (r *renderer) renderSection(name string) (string, error) {
 		return r.renderProvenance()
 	case strings.HasPrefix(name, "flags:"):
 		return r.renderFlags(strings.TrimPrefix(name, "flags:"))
+	case name == "scenario-format":
+		return renderScenarioFormat()
 	default:
 		return "", fmt.Errorf("unknown section kind")
 	}

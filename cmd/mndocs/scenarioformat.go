@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"memnet/internal/scenario"
+)
+
+// renderScenarioFormat renders the scenario field reference from the
+// embedded JSON schema. Every table below is derived: field names,
+// types, required flags, defaults, and the prose descriptions all come
+// from internal/scenario/scenario.schema.json, so the reference cannot
+// drift from what scenario.Decode accepts.
+func renderScenarioFormat() (string, error) {
+	var root map[string]any
+	if err := json.Unmarshal(scenario.SchemaJSON(), &root); err != nil {
+		return "", fmt.Errorf("embedded scenario schema: %w", err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b,
+		"Format identifier `%s`. Rendered by `cmd/mndocs` from the embedded\n"+
+			"schema `internal/scenario/scenario.schema.json`; regenerate with\n"+
+			"`go run ./cmd/mndocs -write`. CI fails if this reference drifts\n"+
+			"from the schema the loader enforces.\n",
+		scenario.Schema)
+	if err := renderSchemaObject(&b, "", root); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// renderSchemaObject emits one field table for an object schema node,
+// then recurses into each nested object (sub-object, array element, or
+// map value) in field order.
+func renderSchemaObject(b *strings.Builder, path string, obj map[string]any) error {
+	props, _ := obj["properties"].(map[string]any)
+	if props == nil {
+		return fmt.Errorf("schema node %q has no properties", path)
+	}
+	required := map[string]bool{}
+	if req, ok := obj["required"].([]any); ok {
+		for _, f := range req {
+			if s, ok := f.(string); ok {
+				required[s] = true
+			}
+		}
+	}
+
+	if path == "" {
+		b.WriteString("\n#### Top-level document\n")
+	} else {
+		fmt.Fprintf(b, "\n#### `%s`\n", path)
+	}
+	if desc, _ := obj["description"].(string); desc != "" {
+		fmt.Fprintf(b, "\n%s\n", mdEscape(desc))
+	}
+	b.WriteString("\n| field | type | required | default | description |\n|---|---|---|---|---|\n")
+
+	type child struct {
+		path string
+		obj  map[string]any
+	}
+	var children []child
+	for _, name := range sortedKeys(props) {
+		prop, ok := props[name].(map[string]any)
+		if !ok {
+			return fmt.Errorf("schema field %q under %q is not an object", name, path)
+		}
+		fieldPath := name
+		if path != "" {
+			fieldPath = path + "." + name
+		}
+		typ, _ := prop["type"].(string)
+		switch {
+		case typ == "object" && prop["properties"] != nil:
+			children = append(children, child{fieldPath, prop})
+		case typ == "object" && prop["x-values"] != nil:
+			typ = "object (map)"
+			if vals, ok := prop["x-values"].(map[string]any); ok {
+				children = append(children, child{fieldPath + ".<name>", vals})
+			}
+		case typ == "array":
+			items, _ := prop["items"].(map[string]any)
+			itemType, _ := items["type"].(string)
+			typ = "array of " + itemType
+			if itemType == "object" && items["properties"] != nil {
+				children = append(children, child{fieldPath + "[]", items})
+			}
+		}
+		req := ""
+		if required[name] {
+			req = "yes"
+		}
+		fmt.Fprintf(b, "| `%s` | %s | %s | %s | %s |\n",
+			name, typ, req, defaultCell(prop), descCell(prop))
+	}
+
+	for _, c := range children {
+		if err := renderSchemaObject(b, c.path, c.obj); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// defaultCell renders a field's schema default as a literal, or a dash.
+func defaultCell(prop map[string]any) string {
+	def, ok := prop["default"]
+	if !ok {
+		return "—"
+	}
+	raw, err := json.Marshal(def)
+	if err != nil {
+		return "—"
+	}
+	return "`" + string(raw) + "`"
+}
+
+// descCell joins the description with its validation constraint.
+func descCell(prop map[string]any) string {
+	desc, _ := prop["description"].(string)
+	if c, _ := prop["x-constraint"].(string); c != "" {
+		if desc != "" && !strings.HasSuffix(desc, ".") {
+			desc += "."
+		}
+		desc = strings.TrimSpace(desc + " Constraint: " + c + ".")
+	}
+	return mdEscape(desc)
+}
+
+// sortedKeys returns the map's keys in sorted order, so the rendered
+// reference is deterministic regardless of JSON decode order.
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -20,6 +20,7 @@
 //	mnexp -shard 1/2 -cache shard1         # machine 1 of a 2-way campaign
 //	mnexp -shard 2/2 -cache shard2         # machine 2
 //	mnexp -merge shard1,shard2 -cache results/cache -out results
+//	mnexp -scenario examples/scenario/twopod.json -quick
 package main
 
 import (
@@ -32,12 +33,14 @@ import (
 	"memnet/internal/campaign"
 	"memnet/internal/experiments"
 	"memnet/internal/prof"
+	"memnet/internal/scenario"
 )
 
 func main() {
 	var (
 		expFlag = flag.String("exp", "all",
 			"comma-separated: table1,table2,fig4,fig5,fig7,fig10,fig11,fig12,fig13,fig14,fig15,mesh,resilience,chaos or all")
+		scenFlag = flag.String("scenario", "", "evaluate a declarative scenario file across the workload suite instead of -exp (see SCENARIOS.md); honors -cache")
 		quick    = flag.Bool("quick", false, "reduced trace length for a fast pass")
 		txns     = flag.Uint64("txns", 0, "override transactions per run")
 		seed     = flag.Uint64("seed", 1, "workload seed")
@@ -112,6 +115,26 @@ func main() {
 		// any cache backend outright.
 		spanCol = newSpanCollector(stride)
 		runner.Sim = spanCol.sim
+	}
+
+	if *scenFlag != "" {
+		spec, err := scenario.LoadFile(*scenFlag)
+		fatalIf(err)
+		tab, err := runner.Scenario(spec)
+		fatalIf(err)
+		switch *format {
+		case "csv":
+			emit(tab.ID, tab.CSV(), *outDir, "csv")
+		case "chart":
+			emit(tab.ID, tab.Chart(), *outDir, "txt")
+		default:
+			emit(tab.ID, tab.Text(), *outDir, "txt")
+		}
+		if store != nil {
+			fmt.Fprintf(os.Stderr, "mnexp: cache %s: %d hits, %d simulated\n",
+				store.Dir(), counter.Hits(), counter.Misses())
+		}
+		return
 	}
 
 	type exp struct {
@@ -271,4 +294,11 @@ func emit(id, content, dir, ext string) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mnexp:", err)
 	os.Exit(1)
+}
+
+// fatalIf is fatal for non-nil errors.
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
 }

@@ -1,9 +1,15 @@
-// Command mnschema validates memnet run-manifest JSON files against the
-// checked-in schema (internal/obs/manifest.schema.json). CI uses it as
-// the smoke check that mnsim -metrics-out output stays well-formed.
+// Command mnschema validates memnet JSON artifacts against their
+// checked-in schemas: run manifests (internal/obs/manifest.schema.json)
+// by default, scenario documents (internal/scenario/scenario.schema.json)
+// with -scenario — the latter also builds the declared graph, so a file
+// that validates here will build in mnsim. CI uses both modes as the
+// smoke check that mnsim -metrics-out and mntopo -export output stay
+// well-formed.
 //
 //	mnschema manifest.json [more.json ...]
-//	mnschema -print            # dump the embedded schema
+//	mnschema -scenario examples/scenario/twopod.json
+//	mnschema -print            # dump the embedded run-manifest schema
+//	mnschema -scenario -print  # dump the embedded scenario schema
 package main
 
 import (
@@ -12,26 +18,30 @@ import (
 	"os"
 
 	"memnet/internal/obs"
+	"memnet/internal/scenario"
+	"memnet/internal/topology"
 )
 
 func main() {
-	printSchema := flag.Bool("print", false, "print the embedded run-manifest schema and exit")
+	printSchema := flag.Bool("print", false, "print the embedded schema and exit")
+	scenMode := flag.Bool("scenario", false, "validate scenario documents (and build their graphs) instead of run manifests")
 	flag.Parse()
 
 	if *printSchema {
-		os.Stdout.Write(obs.ManifestSchemaJSON())
+		if *scenMode {
+			os.Stdout.Write(scenario.SchemaJSON())
+		} else {
+			os.Stdout.Write(obs.ManifestSchemaJSON())
+		}
 		return
 	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mnschema [-print] manifest.json ...")
+		fmt.Fprintln(os.Stderr, "usage: mnschema [-scenario] [-print] file.json ...")
 		os.Exit(2)
 	}
 	bad := false
 	for _, path := range flag.Args() {
-		doc, err := os.ReadFile(path)
-		if err == nil {
-			err = obs.ValidateManifestJSON(doc)
-		}
+		err := validate(path, *scenMode)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mnschema: %s: %v\n", path, err)
 			bad = true
@@ -42,4 +52,24 @@ func main() {
 	if bad {
 		os.Exit(1)
 	}
+}
+
+// validate checks one file in the selected mode. Scenario documents are
+// additionally built into a graph: schema-valid files can still declare
+// unbuildable networks (an over-budget cube, a disconnected pod), and
+// the point of the smoke check is that mnsim would accept the file.
+func validate(path string, scen bool) error {
+	if !scen {
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return obs.ValidateManifestJSON(doc)
+	}
+	s, err := scenario.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	_, err = topology.BuildScenario(s)
+	return err
 }

@@ -6,6 +6,8 @@
 //	mnsim -topology tree -workload KMEANS
 //	mnsim -topology skiplist -dram-pct 50 -placement last -arb augmented
 //	mnsim -topology metacube -ports 4 -txns 50000 -v
+//	mnsim -scenario examples/scenario/twopod.json
+//	mntopo -topology skiplist -export | mnsim -scenario -
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 func main() {
 	var (
 		topoFlag  = flag.String("topology", "tree", "chain | ring | tree | skiplist | metacube | mesh")
+		scenFlag  = flag.String("scenario", "", "run a declarative scenario file instead of -topology ('-' = stdin; see SCENARIOS.md)")
 		dramPct   = flag.Float64("dram-pct", 100, "percent of capacity from DRAM (0-100)")
 		placeFlag = flag.String("placement", "last", "NVM placement: last (-L) | first (-F)")
 		arbFlag   = flag.String("arb", "rr", "arbitration: rr | distance | augmented")
@@ -83,9 +86,32 @@ func main() {
 		return
 	}
 
+	// Explicitly-set flags win over a scenario's embedded blocks.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
 	cfg := memnet.DefaultConfig()
 	cfg.Topology, err = parseTopology(*topoFlag)
 	check(err)
+	if *scenFlag != "" {
+		if explicit["topology"] {
+			check(fmt.Errorf("-scenario and -topology conflict: the scenario declares the graph"))
+		}
+		var s *memnet.Scenario
+		if *scenFlag == "-" {
+			s, err = memnet.LoadScenario(os.Stdin)
+		} else {
+			s, err = memnet.LoadScenarioFile(*scenFlag)
+		}
+		check(err)
+		cfg.Scenario = s
+		// Let the scenario's workload block drive unless -workload was
+		// given; fault flags likewise override the fault block (a nil
+		// cfg.Fault defers to the scenario inside memnet.Run).
+		if !explicit["workload"] && s.Workload != nil {
+			*wlFlag = ""
+		}
+	}
 	cfg.Arbitration, err = parseArb(*arbFlag)
 	check(err)
 	cfg.DRAMFraction = *dramPct / 100

@@ -1,14 +1,20 @@
 // Command mntopo builds a memory-network topology and prints its
 // structure: node/edge inventory, per-cube hop distances from the host,
-// diameter statistics, and (optionally) Graphviz DOT.
+// diameter statistics, and (optionally) Graphviz DOT. It also converts
+// between compiled-in topologies and declarative scenario documents:
+// -export emits the built graph as scenario JSON (see SCENARIOS.md),
+// and -scenario summarizes a scenario file instead of -topology.
 //
 // Examples:
 //
 //	mntopo -topology skiplist -cubes 16
 //	mntopo -topology metacube -dram-pct 50 -placement first -dot
+//	mntopo -topology skiplist -export > skiplist16.json
+//	mntopo -scenario examples/scenario/twopod.json -dot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,12 +23,20 @@ import (
 	"memnet/internal/config"
 	"memnet/internal/core"
 	"memnet/internal/packet"
+	"memnet/internal/scenario"
 	"memnet/internal/topology"
 )
 
+// topoUsage is the -topology help text. It must stay a plain literal
+// (cmd/mndocs renders flag tables from the AST) and must track
+// topology.KindNames exactly; TestTopologyUsageCurrent pins both.
+const topoUsage = "chain | ring | tree | skiplist | metacube | mesh"
+
 func main() {
 	var (
-		topoFlag  = flag.String("topology", "skiplist", "chain | ring | tree | skiplist | metacube | mesh")
+		topoFlag  = flag.String("topology", "skiplist", topoUsage)
+		scenFlag  = flag.String("scenario", "", "summarize a declarative scenario file instead of -topology ('-' = stdin; see SCENARIOS.md)")
+		export    = flag.Bool("export", false, "emit the built graph as a scenario JSON document on stdout")
 		cubes     = flag.Int("cubes", 0, "build a homogeneous DRAM network of N cubes (overrides ratio)")
 		dramPct   = flag.Float64("dram-pct", 100, "percent of capacity from DRAM")
 		placeFlag = flag.String("placement", "last", "NVM placement: last | first")
@@ -30,24 +44,48 @@ func main() {
 	)
 	flag.Parse()
 
-	kind, err := parseTopology(*topoFlag)
-	check(err)
-
-	var techs []config.MemTech
-	if *cubes > 0 {
-		techs = make([]config.MemTech, *cubes)
+	var (
+		g    *topology.Graph
+		spec *scenario.Spec
+		err  error
+	)
+	if *scenFlag != "" {
+		spec, err = loadScenario(*scenFlag)
+		check(err)
+		g, err = topology.BuildScenario(spec)
+		check(err)
 	} else {
-		sys := config.Default()
-		sys.DRAMFraction = *dramPct / 100
-		if strings.HasPrefix(strings.ToLower(*placeFlag), "f") {
-			sys.Placement = config.NVMFirst
+		var kind topology.Kind
+		kind, err = topology.ParseKind(*topoFlag)
+		check(err)
+
+		var techs []config.MemTech
+		if *cubes > 0 {
+			techs = make([]config.MemTech, *cubes)
+		} else {
+			sys := config.Default()
+			sys.DRAMFraction = *dramPct / 100
+			if strings.HasPrefix(strings.ToLower(*placeFlag), "f") {
+				sys.Placement = config.NVMFirst
+			}
+			techs, err = core.TechOrder(&sys)
+			check(err)
 		}
-		techs, err = core.TechOrder(&sys)
+
+		g, err = topology.Build(kind, techs)
 		check(err)
 	}
 
-	g, err := topology.Build(kind, techs)
-	check(err)
+	if *export {
+		name := ""
+		if spec != nil {
+			name = spec.Name
+		}
+		out, err := exportJSON(g, name)
+		check(err)
+		fmt.Println(out)
+		return
+	}
 
 	if *dot {
 		fmt.Print(toDOT(g))
@@ -55,7 +93,7 @@ func main() {
 	}
 
 	fmt.Printf("topology  %v  (%d cubes, %d nodes incl. host, %d links)\n",
-		kind, len(g.CubeIDs()), g.NumNodes(), len(g.Edges))
+		g.Kind, len(g.CubeIDs()), g.NumNodes(), len(g.Edges))
 	fmt.Printf("diameter  %d hops worst-case host->cube, %.2f average\n",
 		g.MaxHostDist(), g.MeanHostDist())
 	fmt.Println()
@@ -88,6 +126,27 @@ func main() {
 	}
 }
 
+// loadScenario reads a scenario document from a path or stdin ("-").
+func loadScenario(path string) (*scenario.Spec, error) {
+	if path == "-" {
+		return scenario.Load(os.Stdin)
+	}
+	return scenario.LoadFile(path)
+}
+
+// exportJSON renders the graph as an indented scenario document. The
+// export carries structure only — every rate, depth, and policy is the
+// system-wide default — so simulating it reproduces the compiled-in
+// topology bit-identically.
+func exportJSON(g *topology.Graph, name string) (string, error) {
+	s := topology.ExportScenario(g, name)
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
 // toDOT renders the graph for Graphviz.
 func toDOT(g *topology.Graph) string {
 	var b strings.Builder
@@ -116,25 +175,6 @@ func toDOT(g *topology.Graph) string {
 	}
 	b.WriteString("}\n")
 	return b.String()
-}
-
-func parseTopology(s string) (topology.Kind, error) {
-	switch strings.ToLower(s) {
-	case "chain", "c":
-		return topology.Chain, nil
-	case "ring", "r":
-		return topology.Ring, nil
-	case "tree", "t":
-		return topology.Tree, nil
-	case "skiplist", "skip-list", "sl":
-		return topology.SkipList, nil
-	case "metacube", "mc":
-		return topology.MetaCube, nil
-	case "mesh", "m":
-		return topology.Mesh, nil
-	default:
-		return 0, fmt.Errorf("unknown topology %q", s)
-	}
 }
 
 func check(err error) {

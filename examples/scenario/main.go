@@ -1,0 +1,60 @@
+// Scenario cookbook: run every declarative scenario document in this
+// directory through the public API and print its headline numbers.
+//
+// The three documents show the range of the format (see SCENARIOS.md):
+//
+//   - skiplist16.json — a built-in topology (the paper's skip-list) as
+//     an explicit graph, produced by `mntopo -topology skiplist -export`.
+//     Running it is byte-identical to `mnsim -topology skiplist`.
+//   - twopod.json — an irregular graph no generator produces: two
+//     4-cube rings bridged by a fifth cube, host on one pod.
+//   - hetero.json — mixed DRAM/NVM placement by name, slower narrower
+//     links to the NVM cubes, distance arbitration on the near routers,
+//     and an embedded read-heavy workload block.
+package main
+
+import (
+	"embed"
+	"fmt"
+	"log"
+	"sort"
+
+	"memnet"
+)
+
+//go:embed skiplist16.json twopod.json hetero.json
+var docs embed.FS
+
+func main() {
+	names, err := docs.ReadDir(".")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].Name() < names[j].Name() })
+
+	fmt.Println("Declarative scenario cookbook (KMEANS unless the document embeds a workload)")
+	fmt.Println()
+	for _, e := range names {
+		raw, err := docs.ReadFile(e.Name())
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err := memnet.DecodeScenario(raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		cfg := memnet.DefaultConfig()
+		cfg.Scenario = spec
+		if spec.Workload != nil {
+			cfg.Workload = "" // let the document's embedded block drive
+		}
+		cfg.Transactions = 5000
+		res, err := memnet.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %-12s workload %-10s finish %8v   mean latency %7v   hops %.2f\n",
+			e.Name(), res.Label, res.Workload, res.FinishTime, res.MeanLatency, res.MeanHops)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"memnet"
+)
+
+// run loads one embedded cookbook document and runs it.
+func run(t *testing.T, name string) memnet.Results {
+	t.Helper()
+	raw, err := docs.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := memnet.DecodeScenario(raw)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	cfg := memnet.DefaultConfig()
+	cfg.Scenario = spec
+	if spec.Workload != nil {
+		cfg.Workload = ""
+	}
+	cfg.Transactions = 800
+	res, err := memnet.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res
+}
+
+// TestCookbookDocsRun keeps every document in the cookbook loadable,
+// buildable, and deterministic through the public API.
+func TestCookbookDocsRun(t *testing.T) {
+	for _, name := range []string{"skiplist16.json", "twopod.json", "hetero.json"} {
+		res := run(t, name)
+		if res.FinishTime <= 0 || res.Transactions != 800 {
+			t.Errorf("%s: finish %v, transactions %d", name, res.FinishTime, res.Transactions)
+		}
+		if again := run(t, name); !reflect.DeepEqual(res, again) {
+			t.Errorf("%s: results differ across identical runs", name)
+		}
+	}
+}
+
+// TestCookbookDocLabels pins what each document demonstrates: the
+// export keeps the built-in run label, free-form graphs run under the
+// scenario name, and the embedded workload block drives hetero.
+func TestCookbookDocLabels(t *testing.T) {
+	if res := run(t, "skiplist16.json"); res.Label != "100%-SL" || res.Workload != "KMEANS" {
+		t.Errorf("skiplist16: label %q workload %q", res.Label, res.Workload)
+	}
+	if res := run(t, "twopod.json"); res.Label != "two-pod" {
+		t.Errorf("twopod: label %q", res.Label)
+	}
+	if res := run(t, "hetero.json"); res.Label != "hetero-tree" || res.Workload != "custom" {
+		t.Errorf("hetero: label %q workload %q", res.Label, res.Workload)
+	}
+}

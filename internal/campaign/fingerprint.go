@@ -22,6 +22,7 @@ import (
 	"memnet/internal/fault"
 	"memnet/internal/fnv"
 	"memnet/internal/migrate"
+	"memnet/internal/scenario"
 	"memnet/internal/workload"
 )
 
@@ -90,7 +91,23 @@ func FingerprintParams(p core.Params) Fingerprint {
 	}
 	h = hashMigration(h, p.Migration)
 	h = hashFault(h, p.Fault)
+	h = hashScenario(h, p.Scenario)
 	return Fingerprint(h.Sum())
+}
+
+// hashScenario folds the declarative component graph (nil-able) as its
+// canonical re-encoded bytes: defaults materialized, keys sorted. Two
+// scenario files that mean the same run — different formatting, key
+// order, or elided defaults — therefore share a fingerprint, and a
+// re-loaded file is a cache hit. Folding the canonical bytes also
+// covers every future Spec field automatically, which is why the
+// coverage test pins no scenario struct shapes.
+func hashScenario(h fnv.Hash, s *scenario.Spec) fnv.Hash {
+	h = h.Str("scenario").Bool(s != nil)
+	if s == nil {
+		return h
+	}
+	return h.Str(string(s.Canonical()))
 }
 
 // hashSystem folds every field of the system configuration.

@@ -8,6 +8,7 @@ import (
 	"memnet/internal/core"
 	"memnet/internal/fault"
 	"memnet/internal/migrate"
+	"memnet/internal/scenario"
 	"memnet/internal/sim"
 	"memnet/internal/span"
 	"memnet/internal/topology"
@@ -23,6 +24,19 @@ func testParams() core.Params {
 		Workload:     wl,
 		Transactions: 1000,
 		Seed:         1,
+	}
+}
+
+// testScenario returns a small scenario spec for fingerprint checks.
+func testScenario() *scenario.Spec {
+	return &scenario.Spec{
+		Schema: scenario.Schema,
+		Name:   "fp-test",
+		Nodes:  []scenario.Node{{Name: "c0"}, {Name: "c1"}},
+		Links: []scenario.Link{
+			{A: "host", B: "c0"},
+			{A: "c0", B: "c1"},
+		},
 	}
 }
 
@@ -75,6 +89,23 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"fault-retrain": func(p *core.Params) {
 			p.Fault = &fault.Config{RetrainWindow: sim.Microsecond}
 		},
+		"scenario-nil-vs-set": func(p *core.Params) { p.Scenario = testScenario() },
+		"scenario-name": func(p *core.Params) {
+			s := testScenario()
+			s.Name = "other"
+			p.Scenario = s
+		},
+		"scenario-link-override": func(p *core.Params) {
+			s := testScenario()
+			depth := 4
+			s.Links[1].BufferPackets = &depth
+			p.Scenario = s
+		},
+		"scenario-router-override": func(p *core.Params) {
+			s := testScenario()
+			s.Routers = map[string]scenario.Router{"c0": {Arb: "distance"}}
+			p.Scenario = s
+		},
 	}
 	got := map[Fingerprint]string{base: "base"}
 	for name, mut := range mutations {
@@ -88,6 +119,55 @@ func TestFingerprintSensitivity(t *testing.T) {
 			t.Errorf("mutations %q and %q collide (%s)", name, prev, fp)
 		}
 		got[fp] = name
+	}
+}
+
+// TestFingerprintScenarioReload checks the cache-hit property behind
+// "cached sweeps extend for free": two independent loads of the same
+// scenario document — and a reformatted, default-elided variant of it —
+// fingerprint identically, so re-running a scenario campaign hits.
+func TestFingerprintScenarioReload(t *testing.T) {
+	sparse := []byte(`{"schema":"memnet/scenario/v1","name":"fp-test",` +
+		`"nodes":[{"name":"c0"},{"name":"c1"}],` +
+		`"links":[{"a":"host","b":"c0"},{"a":"c0","b":"c1"}]}`)
+	verbose := []byte(`{
+		"name": "fp-test",
+		"schema": "memnet/scenario/v1",
+		"links": [
+			{"b": "c0", "a": "host", "express": false},
+			{"a": "c0", "b": "c1"}
+		],
+		"nodes": [
+			{"name": "c0", "kind": "cube", "tech": "dram", "pos": 0},
+			{"name": "c1", "pos": 1}
+		]
+	}`)
+	fp := func(doc []byte) Fingerprint {
+		s, err := scenario.Decode(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := testParams()
+		p.Topo = topology.Scenario
+		p.Scenario = s
+		return FingerprintParams(p)
+	}
+	a, b, c := fp(sparse), fp(sparse), fp(verbose)
+	if a != b {
+		t.Errorf("re-loaded scenario fingerprints differ: %s vs %s", a, b)
+	}
+	if a != c {
+		t.Errorf("reformatted scenario fingerprints differ: %s vs %s", a, c)
+	}
+	// A scenario run stays cacheable.
+	s, err := scenario.Decode(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams()
+	p.Scenario = s
+	if !Cacheable(p) {
+		t.Error("scenario run must be cacheable")
 	}
 }
 
@@ -126,7 +206,7 @@ func TestFingerprintCoverage(t *testing.T) {
 		{core.Params{}, []string{
 			"Sys", "Topo", "Arb", "Workload", "Transactions", "Seed",
 			"KeepSamples", "Replay", "Record", "TraceDepth", "Migration",
-			"FailLinks", "Fault", "Obs", "Spans", "Tuning",
+			"FailLinks", "Fault", "Obs", "Spans", "Scenario", "Tuning",
 		}},
 		{config.System{}, []string{
 			"Ports", "TotalCapacity", "DRAMCubeCapacity", "NVMCubeCapacity",

@@ -193,8 +193,23 @@ func Default() System {
 }
 
 // Validate checks internal consistency and returns a descriptive error
-// for the first violated constraint.
+// for the first violated constraint, including the paper's capacity
+// equation (the per-port capacity must divide into whole cubes).
 func (s *System) Validate() error {
+	if err := s.ValidateBase(); err != nil {
+		return err
+	}
+	if _, _, err := s.CubesPerPort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ValidateBase checks every constraint except the capacity equation.
+// Scenario runs use it: their cube population comes from the declared
+// graph, not from solving DRAMFraction against TotalCapacity, so any
+// cube count is legal.
+func (s *System) ValidateBase() error {
 	switch {
 	case s.Ports <= 0:
 		return fmt.Errorf("config: Ports must be positive, got %d", s.Ports)
@@ -222,9 +237,6 @@ func (s *System) Validate() error {
 	case s.TotalCapacity%uint64(s.Ports) != 0:
 		return fmt.Errorf("config: TotalCapacity %d not divisible by Ports %d",
 			s.TotalCapacity, s.Ports)
-	}
-	if _, _, err := s.CubesPerPort(); err != nil {
-		return err
 	}
 	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"memnet/internal/obs"
 	"memnet/internal/packet"
 	"memnet/internal/router"
+	"memnet/internal/scenario"
 	"memnet/internal/sim"
 	"memnet/internal/span"
 	"memnet/internal/stats"
@@ -153,13 +154,32 @@ type Params struct {
 	// collected through nil-checked hooks at existing event boundaries.
 	// Like Obs, it never changes what the simulation does: Results are
 	// bit-identical with Spans enabled and disabled.
-	Spans  *span.Config
-	Tuning Tuning
+	Spans *span.Config
+	// Scenario, when non-nil, declares the component graph: the run
+	// builds topology.BuildScenario(Scenario) instead of
+	// topology.Build(Topo, ...), applies the spec's per-link and
+	// per-router overrides, and skips the capacity equation (the cube
+	// population is whatever the spec declares). Topo is derived from
+	// the spec (its built-in kind label, or topology.Scenario) and any
+	// caller-set value is ignored. The spec's workload and fault blocks
+	// are NOT applied here — callers resolve them into Workload and
+	// Fault (see memnet.Config and ScenarioFault) so precedence stays
+	// explicit.
+	Scenario *scenario.Spec
+	Tuning   Tuning
 }
 
 // Label renders the configuration the way the paper labels its bars,
-// e.g. "100%-T", "50%-SL (NVM-L)", "0%-MC".
+// e.g. "100%-T", "50%-SL (NVM-L)", "0%-MC". A free-form scenario run
+// is labeled by its scenario name; a scenario that declares a built-in
+// topology kind labels exactly like the compiled-in configuration.
 func (p *Params) Label() string {
+	if p.Topo == topology.Scenario {
+		if p.Scenario != nil {
+			return p.Scenario.Name
+		}
+		return "scenario"
+	}
 	pct := int(p.Sys.DRAMFraction*100 + 0.5)
 	base := fmt.Sprintf("%d%%-%s", pct, p.Topo.Letter())
 	if pct > 0 && pct < 100 {
@@ -259,7 +279,21 @@ func Build(p Params) (*Instance, error) {
 // so a partitioned machine run can place each port's instance on its
 // shard's engine. The engine must be at time zero with nothing pending.
 func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
-	if err := p.Sys.Validate(); err != nil {
+	// Scenario runs skip the capacity equation: their cube population
+	// is whatever the spec declares, not a solution of DRAMFraction
+	// against TotalCapacity.
+	var scen *scenario.Spec
+	if p.Scenario != nil {
+		// Clone before normalizing: the caller's spec may be shared
+		// across concurrently building shards (RunMachine).
+		scen = p.Scenario.Clone()
+		if err := scen.Normalize(); err != nil {
+			return nil, err
+		}
+		if err := p.Sys.ValidateBase(); err != nil {
+			return nil, err
+		}
+	} else if err := p.Sys.Validate(); err != nil {
 		return nil, err
 	}
 	if p.Transactions == 0 {
@@ -269,24 +303,43 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 		p.Tuning = DefaultTuning()
 	}
 
-	techs, err := TechOrder(&p.Sys)
-	if err != nil {
-		return nil, err
-	}
-	var topoOpts []topology.Option
-	if p.Tuning.MetaCubeGroup > 0 {
-		topoOpts = append(topoOpts, topology.WithMetaCubeGroup(p.Tuning.MetaCubeGroup))
-	}
-	g, err := topology.Build(p.Topo, techs, topoOpts...)
-	if err != nil {
-		return nil, err
+	var g *topology.Graph
+	if scen != nil {
+		kind, err := topology.ScenarioKind(scen)
+		if err != nil {
+			return nil, err
+		}
+		p.Topo = kind
+		g, err = topology.BuildScenario(scen)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		techs, err := TechOrder(&p.Sys)
+		if err != nil {
+			return nil, err
+		}
+		var topoOpts []topology.Option
+		if p.Tuning.MetaCubeGroup > 0 {
+			topoOpts = append(topoOpts, topology.WithMetaCubeGroup(p.Tuning.MetaCubeGroup))
+		}
+		g, err = topology.Build(p.Topo, techs, topoOpts...)
+		if err != nil {
+			return nil, err
+		}
 	}
 	// Apply RAS failure injection, highest index first so earlier
-	// indices stay valid.
+	// indices stay valid. Scenario runs must express missing links by
+	// editing the spec instead: removing edges here would shift the
+	// indices the spec's per-link overrides and fault events address.
+	if scen != nil && len(p.FailLinks) > 0 {
+		return nil, fmt.Errorf("core: FailLinks cannot combine with Scenario; drop the links from the scenario instead")
+	}
 	if len(p.FailLinks) > 0 {
 		idx := append([]int(nil), p.FailLinks...)
 		sort.Sort(sort.Reverse(sort.IntSlice(idx)))
 		for _, ei := range idx {
+			var err error
 			g, err = g.RemoveEdge(ei)
 			if err != nil {
 				return nil, err
@@ -486,11 +539,13 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 	}, collector)
 	inst.Port = hostPort
 
-	// Arbitration policy factory: one stateful policy per router.
+	// Arbitration policy factory: one stateful policy per router. A
+	// scenario can pin an individual router's policy and write
+	// demotion; everything else inherits the run-wide settings.
 	biasHops := techBiasHops(&p.Sys)
-	newPolicy := func() arb.Policy {
-		cfg := arb.Config{WriteDemotion: p.Tuning.WriteDemotion}
-		if p.Arb == arb.DistanceAugmented {
+	newPolicy := func(kind arb.Kind, demotion int64) arb.Policy {
+		cfg := arb.Config{WriteDemotion: demotion}
+		if kind == arb.DistanceAugmented {
 			cfg.Bias = func(n packet.NodeID) int64 {
 				if mapper.Tech(n) == config.NVM {
 					return biasHops
@@ -498,7 +553,7 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 				return 0
 			}
 		}
-		return arb.New(p.Arb, cfg)
+		return arb.New(kind, cfg)
 	}
 
 	// Routers for every non-host node.
@@ -510,7 +565,25 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 		if n.Kind == topology.Iface {
 			xbar = p.Tuning.IfaceSwitchBandwidthBps
 		}
-		r := router.New(eng, n.ID, newPolicy(), xbar)
+		aKind, demotion := p.Arb, p.Tuning.WriteDemotion
+		if scen != nil {
+			if rs, ok := scen.RouterOf(int(n.ID)); ok {
+				if rs.Arb != "" {
+					k, err := scenario.ParseArb(rs.Arb)
+					if err != nil {
+						return nil, fmt.Errorf("core: routers.%d: %w", n.ID, err)
+					}
+					aKind = k
+				}
+				if rs.WriteDemotion != nil {
+					demotion = *rs.WriteDemotion
+				}
+				if rs.SwitchBandwidthBps != nil {
+					xbar = *rs.SwitchBandwidthBps
+				}
+			}
+		}
+		r := router.New(eng, n.ID, newPolicy(aKind, demotion), xbar)
 		if spans != nil {
 			label := fmt.Sprintf("r%d", n.ID)
 			r.OnForward = func(pk *packet.Packet, port int, wait sim.Time) {
@@ -540,6 +613,24 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 		if e.Interposer {
 			cfg = ipLink
 		}
+		// Per-link scenario overrides; scen.Links is index-aligned with
+		// g.Edges by construction (BuildScenario preserves link order).
+		if scen != nil {
+			l := scen.Links[ei]
+			if l.BandwidthBps != nil {
+				cfg.BandwidthBps = *l.BandwidthBps
+			}
+			if l.SerDesPs != nil {
+				cfg.SerDesLatency = sim.Time(*l.SerDesPs) * sim.Picosecond
+			}
+			if l.BufferPackets != nil {
+				cfg.QueueDepth = *l.BufferPackets
+				cfg.Credits = *l.BufferPackets
+			}
+			if l.VCs != nil {
+				cfg.NoVCPriority = *l.VCs == 1
+			}
+		}
 		dirs[ei] = edgeDirs{
 			ab: link.New(eng, cfg, meter),
 			ba: link.New(eng, cfg, meter),
@@ -547,8 +638,18 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 		// Bit errors afflict package-to-package SerDes channels; the
 		// wide parallel interposer traces inside a MetaCube are exempt.
 		if faultOn && !e.Interposer {
-			dirs[ei].ab.AttachFault(inst.faultCfg.LinkFault(ei, 0))
-			dirs[ei].ba.AttachFault(inst.faultCfg.LinkFault(ei, 1))
+			fa := inst.faultCfg.LinkFault(ei, 0)
+			fb := inst.faultCfg.LinkFault(ei, 1)
+			if scen != nil && scen.Links[ei].MaxRetries != nil {
+				if fa != nil {
+					fa.MaxRetries = *scen.Links[ei].MaxRetries
+				}
+				if fb != nil {
+					fb.MaxRetries = *scen.Links[ei].MaxRetries
+				}
+			}
+			dirs[ei].ab.AttachFault(fa)
+			dirs[ei].ba.AttachFault(fb)
 		}
 		if spans != nil {
 			la, lb := spanNode(e.A), spanNode(e.B)
@@ -572,7 +673,11 @@ func buildOn(eng *sim.Engine, p Params) (*Instance, error) {
 			} else {
 				out, in = dirs[ei].ba, dirs[ei].ab
 			}
-			buf := link.NewBuffer(p.Sys.LinkBufferPackets, in.ReturnCredit)
+			depth := p.Sys.LinkBufferPackets
+			if scen != nil && scen.Links[ei].BufferPackets != nil {
+				depth = *scen.Links[ei].BufferPackets
+			}
+			buf := link.NewBuffer(depth, in.ReturnCredit)
 			idx := r.AttachPort(buf, out)
 			in.SetDeliver(tap(r.Deliver(idx), trace.Arrive, n.ID, int8(idx)))
 		}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"memnet/internal/fault"
+	"memnet/internal/packet"
+	"memnet/internal/scenario"
+	"memnet/internal/sim"
+)
+
+// ScenarioFault converts a scenario's embedded fault block to a
+// fault.Config for Params.Fault: picosecond times become sim.Time,
+// cube names resolve to node IDs, link indices pass through (the spec
+// and the built graph share edge order). It returns nil when the
+// scenario embeds no fault block. The conversion lives here rather
+// than in package scenario because fault imports topology (chaos-plan
+// generation) and topology imports scenario.
+func ScenarioFault(s *scenario.Spec) (*fault.Config, error) {
+	f := s.Fault
+	if f == nil {
+		return nil, nil
+	}
+	cfg := &fault.Config{
+		Seed:          f.Seed,
+		LinkBER:       f.LinkBER,
+		MaxRetries:    f.MaxRetries,
+		RetryBackoff:  sim.Time(f.RetryBackoffPs) * sim.Picosecond,
+		RetrainWindow: sim.Time(f.RetrainWindowPs) * sim.Picosecond,
+		Watchdog:      f.Watchdog,
+	}
+	for _, ev := range f.KillLinks {
+		cfg.KillLinks = append(cfg.KillLinks, fault.LinkKill{Edge: ev.Link, At: sim.Time(ev.AtPs) * sim.Picosecond})
+	}
+	for _, ev := range f.RepairLinks {
+		cfg.RepairLinks = append(cfg.RepairLinks, fault.LinkRepair{Edge: ev.Link, At: sim.Time(ev.AtPs) * sim.Picosecond})
+	}
+	for _, ev := range f.LaneFails {
+		cfg.LaneFails = append(cfg.LaneFails, fault.LaneFail{Edge: ev.Link, At: sim.Time(ev.AtPs) * sim.Picosecond})
+	}
+	for _, ev := range f.LaneFlaps {
+		cfg.LaneFlaps = append(cfg.LaneFlaps, fault.LaneFlap{
+			Edge: ev.Link,
+			Down: sim.Time(ev.DownPs) * sim.Picosecond,
+			Up:   sim.Time(ev.UpPs) * sim.Picosecond,
+		})
+	}
+	cube := func(field, name string) (packet.NodeID, error) {
+		id, ok := s.NodeID(name)
+		if !ok {
+			return 0, fmt.Errorf("scenario: fault.%s: unknown node %q", field, name)
+		}
+		return packet.NodeID(id), nil
+	}
+	for _, ev := range f.KillCubes {
+		id, err := cube("kill_cubes", ev.Cube)
+		if err != nil {
+			return nil, err
+		}
+		cfg.KillCubes = append(cfg.KillCubes, fault.CubeKill{Node: id, At: sim.Time(ev.AtPs) * sim.Picosecond, Full: ev.Full})
+	}
+	for _, ev := range f.RepairCubes {
+		id, err := cube("repair_cubes", ev.Cube)
+		if err != nil {
+			return nil, err
+		}
+		cfg.RepairCubes = append(cfg.RepairCubes, fault.CubeRepair{Node: id, At: sim.Time(ev.AtPs) * sim.Picosecond})
+	}
+	return cfg, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+
+	"memnet/internal/core"
+	"memnet/internal/scenario"
+)
+
+// ySpec declares a three-cube Y, optionally with a workload block.
+func ySpec(withWorkload bool) *scenario.Spec {
+	s := &scenario.Spec{
+		Schema: scenario.Schema,
+		Name:   "exp-y",
+		Nodes:  []scenario.Node{{Name: "c0"}, {Name: "c1"}, {Name: "c2"}},
+		Links: []scenario.Link{
+			{A: "host", B: "c0"},
+			{A: "c0", B: "c1"},
+			{A: "c0", B: "c2"},
+		},
+	}
+	if withWorkload {
+		s.Workload = &scenario.Workload{ReadFraction: 0.7, MeanGapPs: 2000}
+	}
+	return s
+}
+
+func TestScenarioTableSuite(t *testing.T) {
+	opts := QuickOptions()
+	opts.Transactions = 600
+	opts.Workloads = []string{"KMEANS", "BACKPROP"}
+	r := NewRunner(opts)
+	// Every run must flow through the pluggable backend (the cache
+	// hook), or scenario campaigns cannot be served from disk.
+	var seen int
+	r.Sim = func(p core.Params) (core.Results, error) {
+		if p.Scenario == nil {
+			t.Error("backend saw a run without the scenario attached")
+		}
+		seen++
+		return core.Simulate(p)
+	}
+	tab, err := r.Scenario(ySpec(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 2 {
+		t.Errorf("backend saw %d runs, want 2", seen)
+	}
+	if len(tab.Columns) != 2 || tab.Columns[0] != "KMEANS" {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	finish, ok := tab.Cell("finish time (us)", "KMEANS")
+	if !ok || finish <= 0 {
+		t.Errorf("finish cell = %v, %v", finish, ok)
+	}
+}
+
+func TestScenarioTableEmbeddedWorkload(t *testing.T) {
+	opts := QuickOptions()
+	opts.Transactions = 600
+	r := NewRunner(opts)
+	tab, err := r.Scenario(ySpec(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The embedded block replaces the suite: one column, named custom.
+	if len(tab.Columns) != 1 || tab.Columns[0] != "custom" {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+}
+
+func TestScenarioTableRejectsBadSpec(t *testing.T) {
+	s := ySpec(false)
+	s.Topology = "torus"
+	if _, err := NewRunner(QuickOptions()).Scenario(s); err == nil {
+		t.Error("unknown topology label accepted")
+	}
+}

@@ -274,6 +274,10 @@ func (d *Direction) RetryLen() int { return len(d.retryQ) }
 // down-binding.
 func (d *Direction) Bandwidth() int64 { return d.cfg.BandwidthBps }
 
+// VCRoundRobin reports whether response-over-request priority is
+// disabled (round-robin between VCs; the single-VC ablation).
+func (d *Direction) VCRoundRobin() bool { return d.cfg.NoVCPriority }
+
 // Dead reports whether the direction is out of service (failed or
 // still retraining).
 func (d *Direction) Dead() bool { return d.state != Up }

@@ -11,6 +11,7 @@ func TestDetmap(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), detmap.Analyzer,
 		"memnet/internal/sim/dm",
 		"memnet/internal/fault/rec",
+		"memnet/internal/scenario/canon",
 		"example.com/notsim",
 	)
 }

@@ -1,0 +1,51 @@
+// Package canon is a detmap fixture modeling the scenario package's
+// canonicalization: per-router override maps may be copied freely, but
+// any iteration that drives output bytes or the first surfaced error
+// must be sorted, or two loads of the same document could canonicalize
+// (or fail) differently.
+package canon
+
+import (
+	"fmt"
+	"sort"
+)
+
+type router struct{ arb string }
+
+// Bad: which router's bad-policy error surfaces first depends on map
+// order, so the same document would not always fail the same way.
+func validateUnsorted(routers map[string]router) error {
+	for name, r := range routers { // want `nondeterministic iteration over map routers`
+		if r.arb == "" {
+			return fmt.Errorf("routers.%s.arb: required", name)
+		}
+	}
+	return nil
+}
+
+// Good: the shipped pattern — validate in sorted name order so the
+// first error is stable across loads.
+func validateSorted(routers map[string]router) error {
+	names := make([]string, 0, len(routers))
+	for name := range routers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if routers[name].arb == "" {
+			return fmt.Errorf("routers.%s.arb: required", name)
+		}
+	}
+	return nil
+}
+
+// Good: a map-to-map clone carries no iteration order into the result;
+// the annotation records why the loop is safe.
+func clone(routers map[string]router) map[string]router {
+	c := make(map[string]router, len(routers))
+	//lint:sorted map-to-map copy; the result is order-independent
+	for name, r := range routers {
+		c[name] = r
+	}
+	return c
+}

@@ -28,14 +28,14 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "doccheck",
 	Doc: "flag undocumented exported identifiers in the documented-API " +
-		"packages (campaign, experiments, obs, fnv)",
+		"packages (campaign, experiments, obs, fnv, scenario)",
 	Run: run,
 }
 
 // docPackages are the internal packages whose exported surface must be
 // fully documented (path segment under internal/, as in
 // lintutil.SimPackage).
-var docPackages = []string{"campaign", "experiments", "obs", "fnv"}
+var docPackages = []string{"campaign", "experiments", "obs", "fnv", "scenario"}
 
 // docPackage reports whether the import path names a package held to
 // full godoc coverage.

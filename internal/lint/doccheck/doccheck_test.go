@@ -9,7 +9,8 @@ import (
 
 func TestDoccheck(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), doccheck.Analyzer,
-		"memnet/internal/campaign/dc")
+		"memnet/internal/campaign/dc",
+		"memnet/internal/scenario/sd")
 }
 
 func TestUnrestrictedPackageIgnored(t *testing.T) {

@@ -1,0 +1,19 @@
+// Package sd is a doccheck fixture posing as a scenario subpackage:
+// the declarative-format structs are public API, so every exported
+// field of the document model needs a doc comment.
+package sd
+
+// Spec mirrors a scenario document root.
+type Spec struct {
+	// Schema is the format identifier.
+	Schema string
+	Name   string // want `exported field Spec.Name has no doc comment`
+}
+
+// Decode is documented.
+func Decode(data []byte) (*Spec, error) { return &Spec{}, nil }
+
+func Canonical(s *Spec) []byte { return nil } // want `exported function Canonical has no doc comment`
+
+//lint:nodoc schema bytes re-exported for the CLI only
+var SchemaJSON []byte

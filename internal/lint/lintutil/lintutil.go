@@ -18,6 +18,7 @@ import (
 var simPackages = []string{
 	"sim", "core", "link", "router", "vault", "host", "fault",
 	"arb", "topology", "mem", "migrate", "stats", "obs", "span",
+	"scenario",
 }
 
 // SimPackage reports whether the import path names simulation code:

@@ -12,5 +12,6 @@ func TestStatskey(t *testing.T) {
 		"memnet/internal/vault/sk",
 		"memnet/internal/span/agg",
 		"memnet/internal/obs/reg",
+		"memnet/internal/scenario/load",
 	)
 }

@@ -1,0 +1,54 @@
+// Package load is a statskey fixture modeled on the scenario loader:
+// validation builds one-shot lookup indexes (name → node ID, endpoint
+// pair dedup) at load time, which is cold path by construction — but
+// formatted-string keys and string-keyed counters are still wrong as
+// the general pattern, so the cold-path ones carry the annotation.
+package load
+
+import "fmt"
+
+type pair struct{ a, b string }
+
+// Good: duplicate-link detection keyed by a typed value, not a
+// formatted string.
+func dupLinks(links []pair) error {
+	seen := make(map[pair]bool, len(links))
+	for i, l := range links {
+		if l.b < l.a {
+			l.a, l.b = l.b, l.a
+		}
+		if seen[l] {
+			return fmt.Errorf("links[%d]: duplicate edge %s-%s", i, l.a, l.b)
+		}
+		seen[l] = true
+	}
+	return nil
+}
+
+// Good: the load-time name index is built once per document and says
+// so; lookups afterwards carry plain strings, not formatted ones.
+func nameIndex(names []string) map[string]int {
+	//lint:coldpath name→ID index built once per document load
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i + 1
+	}
+	return idx
+}
+
+// Bad: a formatted endpoint-pair key — the typed pair above exists
+// exactly so no per-edge string is ever built.
+func dupLinksFormatted(links []pair, seen map[string]bool) bool {
+	for _, l := range links {
+		if seen[fmt.Sprintf("%s|%s", l.a, l.b)] { // want `fmt-built map key in simulation package`
+			return true
+		}
+	}
+	return false
+}
+
+// Bad: an ad-hoc string-keyed counter for per-node link budgets; the
+// budget belongs on the node struct or in an ID-indexed slice.
+func portBudgets() map[string]int {
+	return make(map[string]int) // want `string-keyed counter map`
+}

@@ -1,0 +1,16 @@
+package scenario
+
+import _ "embed"
+
+// The checked-in schema is the single source of truth for the format:
+// Decode validates documents against it, mnschema -scenario exposes it
+// on the command line, and cmd/mndocs renders the SCENARIOS.md field
+// reference from its annotations (description / default /
+// x-constraint / x-values), so the documentation cannot drift from
+// what the loader accepts.
+
+//go:embed scenario.schema.json
+var schemaJSON []byte
+
+// SchemaJSON returns the embedded scenario-format JSON schema.
+func SchemaJSON() []byte { return schemaJSON }

@@ -1,0 +1,245 @@
+package topology
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"memnet/internal/packet"
+	"memnet/internal/scenario"
+)
+
+// twoPodSpec declares an irregular graph no built-in kind expresses:
+// two 4-cube rings bridged through a middle cube, host on pod A.
+func twoPodSpec() *scenario.Spec {
+	node := func(name string) scenario.Node { return scenario.Node{Name: name} }
+	link := func(a, b string) scenario.Link { return scenario.Link{A: a, B: b} }
+	return &scenario.Spec{
+		Schema: scenario.Schema,
+		Name:   "two-pod",
+		Nodes: []scenario.Node{
+			node("a0"), node("a1"), node("a2"), node("a3"),
+			node("x"),
+			node("b0"), node("b1"), node("b2"), node("b3"),
+		},
+		Links: []scenario.Link{
+			link("host", "a0"),
+			link("a0", "a1"), link("a1", "a2"), link("a2", "a3"), link("a3", "a0"),
+			link("a0", "x"), link("x", "b0"),
+			link("b0", "b1"), link("b1", "b2"), link("b2", "b3"), link("b3", "b0"),
+		},
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	names := KindNames()
+	if len(names) != len(AllKinds) {
+		t.Fatalf("KindNames has %d entries for %d kinds", len(names), len(AllKinds))
+	}
+	for i, k := range AllKinds {
+		if k == Scenario {
+			t.Fatalf("AllKinds contains Scenario")
+		}
+		if names[i] != KindName(k) {
+			t.Errorf("KindNames[%d] = %q, want %q", i, names[i], KindName(k))
+		}
+		for _, label := range []string{KindName(k), strings.ToUpper(KindName(k)), k.String()} {
+			got, err := ParseKind(label)
+			if err != nil || got != k {
+				t.Errorf("ParseKind(%q) = %v, %v; want %v", label, got, err, k)
+			}
+		}
+		if k.Letter() == "?" || strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("%v has no name/letter", k)
+		}
+	}
+	for _, bad := range []string{"", "torus", "scenario"} {
+		if _, err := ParseKind(bad); err == nil {
+			t.Errorf("ParseKind(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildRejectsScenarioKind(t *testing.T) {
+	if _, err := Build(Scenario, dram(4)); err == nil {
+		t.Fatal("Build(Scenario, ...) must fail; scenarios build via BuildScenario")
+	}
+}
+
+func TestBuildScenarioIrregular(t *testing.T) {
+	g, err := BuildScenario(twoPodSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind != Scenario {
+		t.Errorf("kind = %v, want Scenario", g.Kind)
+	}
+	if got := len(g.Nodes); got != 10 {
+		t.Fatalf("nodes = %d, want 10", got)
+	}
+	if got := len(g.Edges); got != 11 {
+		t.Fatalf("edges = %d, want 11", got)
+	}
+	// Route tables must reach every cube from the host on both classes.
+	for _, id := range g.CubeIDs() {
+		for _, class := range []PathClass{PathShort, PathLong} {
+			if g.Dist(class, packet.HostNode, id) < 0 {
+				t.Errorf("no %v route host -> %d", class, id)
+			}
+		}
+	}
+	// Pod B is two hops behind the bridge: host-a0-x-b0.
+	b0, _ := twoPodSpec().NodeID("b0")
+	if d := g.Dist(PathShort, packet.HostNode, packet.NodeID(b0)); d != 3 {
+		t.Errorf("host->b0 dist = %d, want 3", d)
+	}
+}
+
+func TestBuildScenarioRejects(t *testing.T) {
+	// Port budget: a 5-link cube must be rejected by the builder even
+	// though the spec-level checks cannot know the per-cube budget rule
+	// ahead of graph construction.
+	s := twoPodSpec()
+	s.Links = append(s.Links, scenario.Link{A: "a0", B: "b2"})
+	if _, err := BuildScenario(s); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("over-budget cube not rejected: %v", err)
+	}
+	// Spec-level validation errors surface through BuildScenario too.
+	s = twoPodSpec()
+	s.Links[0].B = "zz"
+	if _, err := BuildScenario(s); err == nil || !strings.Contains(err.Error(), "links[0].b") {
+		t.Fatalf("unknown endpoint not rejected: %v", err)
+	}
+	s = twoPodSpec()
+	s.Topology = "torus"
+	if _, err := BuildScenario(s); err == nil || !strings.Contains(err.Error(), "torus") {
+		t.Fatalf("unknown topology label not rejected: %v", err)
+	}
+}
+
+// TestExportScenarioRoundTrip checks that exporting any built-in
+// topology and rebuilding it from the spec reproduces the graph
+// exactly: same nodes, same edges in the same order (port numbering),
+// same routes.
+func TestExportScenarioRoundTrip(t *testing.T) {
+	for _, kind := range AllKinds {
+		g := build(t, kind, dram(16))
+		spec := ExportScenario(g, "roundtrip")
+		if spec.Topology != KindName(kind) {
+			t.Errorf("%v: exported topology label %q", kind, spec.Topology)
+		}
+		g2, err := BuildScenario(spec)
+		if err != nil {
+			t.Fatalf("%v: rebuild: %v", kind, err)
+		}
+		if g2.Kind != kind {
+			t.Errorf("%v: rebuilt kind %v", kind, g2.Kind)
+		}
+		if !reflect.DeepEqual(g.Nodes, g2.Nodes) {
+			t.Errorf("%v: nodes differ\n%+v\n%+v", kind, g.Nodes, g2.Nodes)
+		}
+		if !reflect.DeepEqual(g.Edges, g2.Edges) {
+			t.Errorf("%v: edges differ\n%+v\n%+v", kind, g.Edges, g2.Edges)
+		}
+	}
+}
+
+// TestExportScenarioValidates checks an export is a valid scenario
+// document after a JSON round trip, not just as in-memory structs.
+func TestExportScenarioValidates(t *testing.T) {
+	g := build(t, MetaCube, dram(16))
+	spec := ExportScenario(g, "mc16")
+	data := spec.Canonical()
+	if _, err := scenario.Decode(data); err != nil {
+		t.Fatalf("exported scenario does not decode: %v", err)
+	}
+}
+
+// TestPartitionScenarioInvariants re-runs the partitioner's cover and
+// cut-symmetry invariants on scenario-loaded irregular graphs — the
+// built-in-kind sweeps above cannot reach these shapes.
+func TestPartitionScenarioInvariants(t *testing.T) {
+	specs := map[string]func() *scenario.Spec{
+		"two-pod": twoPodSpec,
+		"hub": func() *scenario.Spec {
+			// A hub-and-spoke with an interface chip: host - iface,
+			// iface fans out to 5 cubes (over the cube port budget, so
+			// only an iface can sit at the hub).
+			s := &scenario.Spec{Schema: scenario.Schema, Name: "hub"}
+			s.Nodes = append(s.Nodes, scenario.Node{Name: "hub", Kind: "iface"})
+			s.Links = append(s.Links, scenario.Link{A: "host", B: "hub"})
+			for _, c := range []string{"c0", "c1", "c2", "c3", "c4"} {
+				s.Nodes = append(s.Nodes, scenario.Node{Name: c})
+				s.Links = append(s.Links, scenario.Link{A: "hub", B: c, Interposer: true})
+			}
+			return s
+		},
+	}
+	for name, mk := range specs {
+		for _, k := range []int{1, 2, 3} {
+			g, err := BuildScenario(mk())
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			p, err := PartitionRegions(g, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			// Cover: every node in exactly one region, cubes balanced,
+			// host in region 0.
+			counts := make([]int, k)
+			for _, n := range g.Nodes {
+				r := p.RegionOf(n.ID)
+				if r < 0 || r >= k {
+					t.Fatalf("%s k=%d: node %d in region %d", name, k, n.ID, r)
+				}
+				if n.Kind == Cube {
+					counts[r]++
+				}
+			}
+			min, max := counts[0], counts[0]
+			for _, c := range counts[1:] {
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			if min == 0 || max-min > 1 {
+				t.Errorf("%s k=%d: unbalanced cube counts %v", name, k, counts)
+			}
+			if p.RegionOf(packet.HostNode) != 0 {
+				t.Errorf("%s k=%d: host not in region 0", name, k)
+			}
+			// Symmetry: each cut edge appears exactly twice, mirrored;
+			// intra-region edges never appear.
+			views := map[int][]BoundaryEdge{}
+			for s := 0; s < k; s++ {
+				for _, be := range p.Cut(s) {
+					if be.LocalRegion != s || p.RegionOf(be.Local) != s {
+						t.Fatalf("%s k=%d: cut entry %+v in wrong view", name, k, be)
+					}
+					views[be.Edge] = append(views[be.Edge], be)
+				}
+			}
+			for ei, e := range g.Edges {
+				vs := views[ei]
+				if p.RegionOf(e.A) == p.RegionOf(e.B) {
+					if len(vs) != 0 {
+						t.Errorf("%s k=%d: intra-region edge %d in a cut", name, k, ei)
+					}
+					continue
+				}
+				if len(vs) != 2 {
+					t.Fatalf("%s k=%d: cut edge %d appears %d times", name, k, ei, len(vs))
+				}
+				a, b := vs[0], vs[1]
+				if a.Local != b.Remote || a.Remote != b.Local ||
+					a.LocalRegion != b.RemoteRegion || a.RemoteRegion != b.LocalRegion {
+					t.Errorf("%s k=%d: cut edge %d views not mirrored", name, k, ei)
+				}
+			}
+		}
+	}
+}

@@ -44,6 +44,13 @@ const (
 	// worse than a tree no matter which cube attaches to the host (§3);
 	// building it lets that claim be checked directly.
 	Mesh
+	// Scenario marks a graph loaded from a declarative scenario file
+	// (BuildScenario) whose shape names no built-in family. It is not a
+	// buildable kind: Build rejects it and it appears in neither Kinds
+	// nor AllKinds. A scenario that declares a "topology" label gets
+	// that built-in kind instead, so its runs label identically to the
+	// compiled-in topology.
+	Scenario
 )
 
 // Kinds lists the paper's evaluated topologies in presentation order
@@ -68,6 +75,8 @@ func (k Kind) String() string {
 		return "MetaCube"
 	case Mesh:
 		return "Mesh"
+	case Scenario:
+		return "Scenario"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -89,6 +98,8 @@ func (k Kind) Letter() string {
 		return "MC"
 	case Mesh:
 		return "M"
+	case Scenario:
+		return "SC"
 	default:
 		return "?"
 	}

@@ -36,6 +36,7 @@ import (
 	"memnet/internal/migrate"
 	"memnet/internal/obs"
 	"memnet/internal/packet"
+	"memnet/internal/scenario"
 	"memnet/internal/sim"
 	"memnet/internal/span"
 	"memnet/internal/stats"
@@ -175,15 +176,23 @@ func GenerateChaos(c Config, spec ChaosSpec) (*FaultConfig, error) {
 	if err != nil {
 		return nil, err
 	}
-	techs, err := core.TechOrder(&p.Sys)
-	if err != nil {
-		return nil, err
+	var g *topology.Graph
+	if p.Scenario != nil {
+		// Chaos schedules address edges of the declared graph; build it
+		// from a clone so the caller's spec is not normalized in place.
+		g, err = topology.BuildScenario(p.Scenario.Clone())
+	} else {
+		var techs []config.MemTech
+		techs, err = core.TechOrder(&p.Sys)
+		if err != nil {
+			return nil, err
+		}
+		group := p.Tuning.MetaCubeGroup
+		if group == 0 {
+			group = core.DefaultTuning().MetaCubeGroup
+		}
+		g, err = topology.Build(p.Topo, techs, topology.WithMetaCubeGroup(group))
 	}
-	group := p.Tuning.MetaCubeGroup
-	if group == 0 {
-		group = core.DefaultTuning().MetaCubeGroup
-	}
-	g, err := topology.Build(p.Topo, techs, topology.WithMetaCubeGroup(group))
 	if err != nil {
 		return nil, err
 	}
@@ -232,6 +241,60 @@ var WritePerfettoSpans = obs.WritePerfettoSpans
 // embedded run-manifest schema.
 var ValidateManifestJSON = obs.ValidateManifestJSON
 
+// Scenario is a declarative component-graph specification: a JSON
+// document (format memnet/scenario/v1) naming every cube, every link
+// (with optional per-link bandwidth/SerDes/buffer/VC/retry overrides),
+// per-router arbitration, the host attachment point, and optional
+// workload and fault blocks. It expresses irregular networks no
+// built-in Topology covers, and every built-in topology can be
+// exported to one (ExportScenario) that simulates bit-identically.
+// See SCENARIOS.md for the format reference.
+type Scenario = scenario.Spec
+
+// ScenarioSchema is the format identifier every scenario document must
+// carry in its "schema" field.
+const ScenarioSchema = scenario.Schema
+
+// ScenarioSchemaJSON returns the embedded JSON schema documents are
+// validated against (also the source of SCENARIOS.md's generated
+// reference).
+func ScenarioSchemaJSON() []byte { return scenario.SchemaJSON() }
+
+// DecodeScenario parses, validates, and normalizes a scenario document.
+// LoadScenario and LoadScenarioFile read one from a stream or a path.
+var (
+	DecodeScenario   = scenario.Decode
+	LoadScenario     = scenario.Load
+	LoadScenarioFile = scenario.LoadFile
+)
+
+// ExportScenario renders the configuration's compiled-in topology as a
+// scenario document that simulates bit-identically to the original
+// Config (node names host/c1/c2/..., declaration order = build order).
+// Configs that already carry a Scenario are rejected.
+func ExportScenario(c Config, name string) (*Scenario, error) {
+	if c.Scenario != nil {
+		return nil, fmt.Errorf("memnet: ExportScenario of a scenario-backed config")
+	}
+	p, err := c.params()
+	if err != nil {
+		return nil, err
+	}
+	techs, err := core.TechOrder(&p.Sys)
+	if err != nil {
+		return nil, err
+	}
+	group := p.Tuning.MetaCubeGroup
+	if group == 0 {
+		group = core.DefaultTuning().MetaCubeGroup
+	}
+	g, err := topology.Build(p.Topo, techs, topology.WithMetaCubeGroup(group))
+	if err != nil {
+		return nil, err
+	}
+	return topology.ExportScenario(g, name), nil
+}
+
 // MigrationPolicy tunes the optional hot-block migration manager — the
 // heterogeneous-memory management layer mixed DRAM:NVM networks rely on
 // (paper §2.4).
@@ -244,8 +307,14 @@ func DefaultMigration() MigrationPolicy { return migrate.DefaultConfig() }
 type Config struct {
 	// System is the hardware platform; zero value means DefaultSystem.
 	System *System
-	// Topology of each port's memory network.
+	// Topology of each port's memory network; ignored when Scenario is
+	// set (the scenario declares the graph).
 	Topology Topology
+	// Scenario, when non-nil, declares the component graph directly
+	// instead of Topology (see LoadScenarioFile). Its workload block
+	// applies unless Workload or Custom is set; its fault block applies
+	// unless Fault is set.
+	Scenario *Scenario
 	// DRAMFraction of total capacity (1.0 = all DRAM); the paper labels
 	// configurations by this percentage.
 	DRAMFraction float64
@@ -328,6 +397,12 @@ func (c Config) params() (core.Params, error) {
 			return core.Params{}, err
 		}
 		spec = s
+	case c.Scenario != nil && c.Scenario.Workload != nil:
+		s, _, err := c.Scenario.WorkloadSpec()
+		if err != nil {
+			return core.Params{}, err
+		}
+		spec = s
 	case len(c.ReplayTrace) > 0:
 		spec = workload.Spec{Name: "replay", MeanGap: Nanosecond}
 	default:
@@ -351,8 +426,23 @@ func (c Config) params() (core.Params, error) {
 		Seed:         seed,
 		KeepSamples:  c.KeepSamples,
 	}
+	if c.Scenario != nil {
+		p.Scenario = c.Scenario
+		kind, err := topology.ScenarioKind(c.Scenario)
+		if err != nil {
+			return core.Params{}, err
+		}
+		p.Topo = kind
+	}
 	p.FailLinks = c.FailLinks
 	p.Fault = c.Fault
+	if p.Fault == nil && c.Scenario != nil && c.Scenario.Fault != nil {
+		fc, err := core.ScenarioFault(c.Scenario)
+		if err != nil {
+			return core.Params{}, err
+		}
+		p.Fault = fc
+	}
 	p.Migration = c.Migration
 	p.Replay = c.ReplayTrace
 	p.Record = c.Record
